@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale, prints it, saves the text artefact under ``benchmarks/results/``, and
+asserts the paper's qualitative *shape* (who wins, what grows, where the
+optimum sits).  Timing is taken by pytest-benchmark with a single round —
+the experiments are minutes-long trainings, not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Persist a regenerated table/figure as a text file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,74 @@
+"""Ablations of the §IV-C design choices (DESIGN.md extension).
+
+Not a paper table, but the decomposition its Table V implies: how much of the
+FVAE's training-cost reduction comes from the batched softmax, and what static
+feature hashing (the alternative the paper rejects) costs in quality.
+"""
+
+from conftest import run_once
+
+from repro.baselines import MultVAE
+from repro.core import FVAE, FVAEConfig, Trainer
+from repro.data import make_qb_like
+from repro.hashing import FeatureHasher
+from repro.tasks import evaluate_tag_prediction
+from repro.viz import format_table
+
+
+def _fvae(schema, **overrides):
+    params = dict(latent_dim=32, encoder_hidden=[128], decoder_hidden=[128],
+                  seed=0)
+    params.update(overrides)
+    return FVAE(schema, FVAEConfig(**params))
+
+
+def test_ablation_batched_softmax_and_sampling(benchmark, save_artifact):
+    """Throughput ladder: full softmax → batched softmax → +feature sampling."""
+    syn = make_qb_like(n_users=2000, seed=0)
+    dataset = syn.dataset
+
+    def ladder():
+        rows = []
+        for label, model in [
+            ("full softmax", _fvae(dataset.schema, batched_softmax=False)),
+            ("batched softmax", _fvae(dataset.schema, sampling_rate=1.0)),
+            ("+ sampling r=0.1", _fvae(dataset.schema, sampling_rate=0.1)),
+        ]:
+            history = Trainer(model, lr=2e-3).fit(dataset, epochs=2,
+                                                  batch_size=256, rng=0)
+            rows.append((label, history.throughput))
+        return rows
+
+    rows = run_once(benchmark, ladder)
+    text = format_table(["Configuration", "users/s"],
+                        [[label, f"{tput:.1f}"] for label, tput in rows],
+                        title="Ablation — §IV-C efficiency mechanisms (QB-like)")
+    save_artifact("ablation_efficiency", text)
+
+    throughput = dict(rows)
+    assert throughput["batched softmax"] > throughput["full softmax"]
+    assert throughput["+ sampling r=0.1"] > throughput["full softmax"]
+
+
+def test_ablation_static_hashing_quality_cost(benchmark, save_artifact):
+    """Static feature hashing (tight budget) must cost ranking quality."""
+    syn = make_qb_like(n_users=2000, seed=0)
+    train, test = syn.dataset.split([0.8, 0.2], rng=0)
+
+    def compare():
+        out = {}
+        for label, hasher in [("exact ids", None),
+                              ("hashed 2^10", FeatureHasher(n_buckets=1 << 10))]:
+            model = MultVAE(train.schema, latent_dim=32, hidden=[128],
+                            hasher=hasher, seed=0)
+            model.fit(train, epochs=8, batch_size=256, lr=2e-3)
+            out[label] = evaluate_tag_prediction(model, test, rng=0).auc
+        return out
+
+    aucs = run_once(benchmark, compare)
+    text = format_table(["Input space", "Tag AUC"],
+                        [[k, v] for k, v in aucs.items()],
+                        title="Ablation — collision cost of static hashing "
+                              "(QB-like)")
+    save_artifact("ablation_hashing", text)
+    assert aucs["exact ids"] > aucs["hashed 2^10"]

@@ -1,0 +1,26 @@
+"""Figure 10 — speedup via (simulated) distributed computing, 3-12 servers.
+
+Paper shape: speedup increases almost linearly with the number of servers.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig10
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(n_users=6000, batch_size=256, latent_dim=32,
+                        lr=2e-3, seed=0)
+
+WORKERS = (3, 6, 9, 12)
+
+
+def test_fig10_distributed_speedup(benchmark, save_artifact):
+    result = run_once(benchmark, lambda: run_fig10(scale=SCALE,
+                                                   workers=WORKERS))
+    save_artifact("fig10_distributed", result.to_text())
+
+    assert result.is_monotone()
+    by_workers = dict(zip(result.workers, result.speedups))
+    # Better than half-efficient at 3 servers, still improving at 12.
+    assert by_workers[3] > 1.5
+    assert by_workers[12] > by_workers[3]

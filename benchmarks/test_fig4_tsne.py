@@ -1,0 +1,21 @@
+"""Figure 4 — t-SNE of FVAE embeddings: 3 topics form separated clusters."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(n_users=3000, epochs=10, batch_size=256,
+                        latent_dim=32, lr=2e-3, seed=0)
+
+
+def test_fig4_tsne_cluster_separation(benchmark, save_artifact):
+    result = run_once(benchmark, lambda: run_fig4(
+        scale=SCALE, n_points=600, n_topics_shown=3, tsne_iterations=250))
+    save_artifact("fig4_tsne", result.to_text())
+
+    # "Almost all topics can be intuitively distinguished": positive
+    # silhouette and inter-centroid distance well above intra-cluster spread.
+    assert result.report["silhouette"] > 0.2
+    assert result.report["separation_ratio"] > 1.5
+    assert result.coordinates.shape == (600, 2)

@@ -1,0 +1,36 @@
+"""Figure 6 — validation AUC versus wall-clock training time for several r.
+
+Paper shape: smaller r trains faster per epoch; a moderate r reaches the best
+AUC/time trade-off; all rates converge to similar AUC.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig6
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(n_users=3000, epochs=10, batch_size=256,
+                        latent_dim=32, lr=2e-3, seed=0)
+
+RATES = (0.01, 0.1, 0.2)
+
+
+def _auc_at_time(curve, budget: float) -> float:
+    """Best AUC the curve reaches within a wall-clock budget."""
+    reached = [p.auc for p in curve if p.seconds <= budget]
+    return max(reached) if reached else float("nan")
+
+
+def test_fig6_auc_vs_training_time(benchmark, save_artifact):
+    result = run_once(benchmark, lambda: run_fig6(scale=SCALE, rates=RATES))
+    save_artifact("fig6_auc_vs_time", result.to_text())
+
+    # Lower sampling rate -> less work per epoch -> shorter total time.
+    assert result.total_time(0.01) < result.total_time(0.2)
+    # The paper's reading: at a fixed wall-clock budget, r=0.1 beats both the
+    # starved r=0.01 and the wasteful r=0.2 (within noise for the latter).
+    budget = min(result.total_time(rate) for rate in RATES)
+    assert _auc_at_time(result.curves[0.1], budget) > \
+        _auc_at_time(result.curves[0.01], budget)
+    assert _auc_at_time(result.curves[0.1], budget) > \
+        _auc_at_time(result.curves[0.2], budget) - 0.02

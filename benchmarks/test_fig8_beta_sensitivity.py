@@ -1,0 +1,26 @@
+"""Figure 8 — sensitivity to the KL peak weight β.
+
+Paper shape: a positive β improves over β=0; the model stays robust over the
+whole sweep thanks to annealing.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig8
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(n_users=1200, epochs=25, batch_size=256,
+                        latent_dim=32, lr=2e-3, seed=0)
+
+BETAS = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+def test_fig8_beta_sensitivity(benchmark, save_artifact):
+    result = run_once(benchmark, lambda: run_fig8(scale=SCALE, betas=BETAS))
+    save_artifact("fig8_beta_sensitivity", result.to_text())
+
+    auc_at = dict(zip(result.betas, result.auc))
+    # Some positive beta is at least as good as no KL regularisation.
+    assert max(v for b, v in auc_at.items() if b > 0) >= auc_at[0.0] - 0.005
+    # Robustness across the sweep: no collapse anywhere.
+    assert min(result.auc) > max(result.auc) - 0.1

@@ -1,0 +1,27 @@
+"""Figure 9 — scalability on Barabási–Albert synthetic data.
+
+Paper shape: runtime grows linearly with the *average* feature size and stays
+flat with the *max* feature size.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig9
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(n_users=1500, batch_size=256, latent_dim=32,
+                        lr=2e-3, seed=0)
+
+
+def test_fig9_scalability(benchmark, save_artifact):
+    result = run_once(benchmark, lambda: run_fig9(
+        scale=SCALE,
+        avg_sizes=(25, 50, 100, 200), fixed_max=20_000,
+        max_sizes=(2_000, 10_000, 50_000, 100_000), fixed_avg=50))
+    save_artifact("fig9_scalability", result.to_text())
+
+    # (a) runtime grows with avg feature size, close to linearly
+    assert result.time_by_avg[-1] > result.time_by_avg[0]
+    assert result.linear_fit_r2_avg() > 0.9
+    # (b) runtime is ~flat in the max feature size (50x vocab < 2x time)
+    assert result.max_size_slowdown() < 2.0

@@ -1,0 +1,21 @@
+"""Table I — dataset statistics of the generated KD/QB/SC analogues."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1_dataset_statistics(benchmark, save_artifact):
+    result = run_once(benchmark, lambda: run_table1(
+        scale_users={"KD": 8000, "QB": 5000, "SC": 3000}, seed=0))
+    save_artifact("table1_datasets", result.to_text())
+
+    kd, qb, sc = result.stats["KD"], result.stats["QB"], result.stats["SC"]
+    # Shape of Table I: KD > QB > SC in users, vocabulary, and profile size,
+    # with 4 fields everywhere and N̄ ≪ J.
+    assert kd.n_users > qb.n_users > sc.n_users
+    assert kd.total_vocab > qb.total_vocab > sc.total_vocab
+    assert kd.avg_features > qb.avg_features
+    for stats in (kd, qb, sc):
+        assert stats.n_fields == 4
+        assert stats.avg_features < 0.05 * stats.total_vocab

@@ -1,0 +1,29 @@
+"""Table III — tag prediction on SC-like data, all 8 models.
+
+Paper shape: FVAE beats every baseline on both AUC and mAP; dense VAEs are
+the strongest baselines; PCA/Item2Vec trail badly.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table3
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(n_users=2500, epochs=15, batch_size=256,
+                        latent_dim=32, lr=2e-3, seed=0)
+
+
+def test_table3_tag_prediction(benchmark, save_artifact):
+    result = run_once(benchmark, lambda: run_table3(scale=SCALE))
+    save_artifact("table3_tag_prediction", result.to_text())
+
+    fvae = result.results["FVAE"]
+    # FVAE clearly beats the classic baselines.
+    for weak in ("PCA", "LDA", "Item2Vec", "Job2Vec", "Mult-DAE"):
+        assert fvae.auc > result.results[weak].auc, weak
+        assert fvae.map > result.results[weak].map, weak
+
+    # FVAE wins mAP outright and is within noise of the best AUC.
+    assert result.winner("map") == "FVAE"
+    best_auc = max(r.auc for r in result.results.values())
+    assert fvae.auc > best_auc - 0.01

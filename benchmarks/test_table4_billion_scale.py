@@ -1,0 +1,29 @@
+"""Table IV — tag prediction on the billion-scale (KD/QB-like) analogues.
+
+Paper shape: only the scalable methods run (PCA, LDA, Item2Vec, FVAE); FVAE
+wins both metrics by a wide margin on both datasets; r=0.1 ≥ r=0.05.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table4
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale(n_users=5000, epochs=12, batch_size=256,
+                        latent_dim=32, lr=2e-3, seed=0)
+
+
+def test_table4_billion_scale(benchmark, save_artifact):
+    result = run_once(benchmark, lambda: run_table4(
+        scale=SCALE, sampling_rates=(0.05, 0.1)))
+    save_artifact("table4_billion_scale", result.to_text())
+
+    for dataset in ("KD", "QB"):
+        per_model = result.results[dataset]
+        for rate_label in ("FVAE(r=0.05)", "FVAE(r=0.1)"):
+            fvae = per_model[rate_label]
+            for weak in ("PCA", "LDA", "Item2Vec"):
+                assert fvae.auc > per_model[weak].auc, (dataset, rate_label, weak)
+                assert fvae.map > per_model[weak].map, (dataset, rate_label, weak)
+        # the winner of the table is an FVAE variant
+        assert result.winner(dataset).startswith("FVAE")

@@ -1,0 +1,73 @@
+"""Efficient training at scale: the three tricks of §IV-C, measured.
+
+Shows how each mechanism — dynamic hash tables, batched softmax, feature
+sampling — changes training cost on a KD-like dataset, and how new features
+arriving after deployment are absorbed without retraining from scratch.
+
+Run with::
+
+    python examples/billion_scale_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FVAE, FVAEConfig, Trainer, make_kd_like
+from repro.baselines import MultVAE
+from repro.hashing import FeatureHasher
+
+
+def main() -> None:
+    synthetic = make_kd_like(n_users=2000, seed=0)
+    dataset = synthetic.dataset
+    stats = dataset.stats()
+    print(f"dataset: {stats}  (J = {stats.total_vocab:,})\n")
+
+    def throughput(model, epochs: int = 2) -> float:
+        history = Trainer(model, lr=2e-3).fit(dataset, epochs=epochs,
+                                              batch_size=256, rng=0)
+        return history.throughput
+
+    def fvae(**overrides) -> FVAE:
+        params = dict(latent_dim=32, encoder_hidden=[128],
+                      decoder_hidden=[128], seed=0)
+        params.update(overrides)
+        return FVAE(dataset.schema, FVAEConfig(**params))
+
+    # -- 1. the batched softmax & feature sampling ladder ----------------------
+    full = throughput(fvae(batched_softmax=False))
+    batched = throughput(fvae(sampling_rate=1.0))
+    sampled = throughput(fvae(sampling_rate=0.1))
+    print("FVAE training throughput (users/second):")
+    print(f"  full softmax over known vocab : {full:8.1f}")
+    print(f"  + batched softmax             : {batched:8.1f} "
+          f"({batched / full:.1f}x)")
+    print(f"  + feature sampling r=0.1      : {sampled:8.1f} "
+          f"({sampled / full:.1f}x)")
+
+    # -- 2. against Mult-VAE (with the paper's static-hashing workaround) ------
+    multvae = MultVAE(dataset.schema, latent_dim=32, hidden=[128],
+                      hasher=FeatureHasher(n_buckets=1 << 14), seed=0)
+    mv = throughput(multvae)
+    print(f"\nMult-VAE (feature-hashed input): {mv:8.1f} users/s "
+          f"-> FVAE speedup {sampled / mv:.1f}x")
+
+    # -- 3. dynamic hash tables absorb feature growth ---------------------------
+    model = fvae(sampling_rate=0.1)
+    Trainer(model, lr=2e-3).fit(dataset, epochs=1, batch_size=256, rng=0)
+    before = model.encoder.bag("tag").n_features
+    # a "new data source" arrives: remap tag ids into a disjoint range
+    fresh = make_kd_like(n_users=500, seed=99)
+    Trainer(model, lr=2e-3).fit(fresh.dataset, epochs=1, batch_size=256, rng=0)
+    after = model.encoder.bag("tag").n_features
+    print(f"\ndynamic hash table growth: {before:,} -> {after:,} tag features "
+          f"(no retraining, no collisions)")
+    collision_rate = FeatureHasher(n_buckets=1 << 12).collision_rate(
+        range(after))
+    print(f"static hashing at the same budget would collide on "
+          f"{collision_rate:.1%} of features")
+
+
+if __name__ == "__main__":
+    main()

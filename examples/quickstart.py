@@ -1,0 +1,50 @@
+"""Quickstart: train an FVAE on SC-like data and evaluate tag prediction.
+
+Runs in under a minute::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import FVAE, FVAEConfig, evaluate_tag_prediction, make_sc_like
+
+
+def main() -> None:
+    # 1. A multi-field user dataset (ch1/ch2/ch3 channel hierarchies + tags).
+    #    The presets generate Tencent-shaped synthetic data; swap in your own
+    #    profiles with MultiFieldDataset.from_user_lists.
+    synthetic = make_sc_like(n_users=2000, seed=0)
+    dataset = synthetic.dataset
+    print(f"dataset: {dataset}")
+    print(f"stats:   {dataset.stats()}\n")
+
+    train, test = dataset.split([0.8, 0.2], rng=0)
+
+    # 2. Configure and train the Field-aware VAE.  Each field gets its own
+    #    multinomial decoder head; dynamic hash tables grow with the data.
+    config = FVAEConfig(
+        latent_dim=32,
+        encoder_hidden=[128],
+        decoder_hidden=[128],
+        beta=0.2,              # KL peak, linearly annealed
+        sampling_rate=1.0,     # train-time feature sampling (see §IV-C3)
+        seed=0,
+    )
+    model = FVAE(train.schema, config)
+    model.fit(train, epochs=10, batch_size=256, lr=2e-3, verbose=True)
+
+    # 3. User representations: the posterior mean μ(u) per user.
+    embeddings = model.embed_users(test)
+    print(f"\nembeddings: {embeddings.shape} "
+          f"(norm ~ {float((embeddings ** 2).sum(1).mean() ** 0.5):.2f})")
+
+    # 4. Downstream task: fold-in tag prediction (Table III protocol) — the
+    #    model sees only the channel fields and ranks held-out tags.
+    result = evaluate_tag_prediction(model, test, target_field="tag", rng=0)
+    print(f"tag prediction:  AUC={result.auc:.4f}  mAP={result.map:.4f} "
+          f"({result.n_users} users)")
+
+
+if __name__ == "__main__":
+    main()

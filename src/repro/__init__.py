@@ -1,0 +1,43 @@
+"""repro — reproduction of "Field-aware Variational Autoencoders for
+Billion-scale User Representation Learning" (ICDE 2022).
+
+Public API tour:
+
+* :mod:`repro.core` — the FVAE model, config, and trainer.
+* :mod:`repro.data` — field schemas, sparse multi-field datasets, synthetic
+  generators, and the KD/QB/SC-like presets.
+* :mod:`repro.baselines` — PCA, LDA, Item2Vec, Job2Vec, Mult-DAE, Mult-VAE,
+  RecVAE.
+* :mod:`repro.tasks` — reconstruction and tag-prediction evaluation.
+* :mod:`repro.lookalike` — embedding store, serving, audience expansion, and
+  the simulated online A/B test.
+* :mod:`repro.nn` — the NumPy autograd substrate everything runs on.
+* :mod:`repro.hashing`, :mod:`repro.sampling`, :mod:`repro.metrics`,
+  :mod:`repro.distributed`, :mod:`repro.viz` — supporting subsystems.
+
+Quickstart::
+
+    from repro import FVAE, FVAEConfig, make_sc_like, evaluate_tag_prediction
+
+    syn = make_sc_like(n_users=4000)
+    train, test = syn.dataset.split([0.8, 0.2], rng=0)
+    model = FVAE(train.schema, FVAEConfig(latent_dim=64)).fit(train, epochs=20)
+    print(evaluate_tag_prediction(model, test))
+"""
+
+from repro.core import FVAE, FVAEConfig, Trainer
+from repro.data import (FieldSchema, FieldSpec, MultiFieldDataset, get_dataset,
+                        make_kd_like, make_qb_like, make_sc_like)
+from repro.lookalike import LookalikeSystem, OnlineABTest
+from repro.tasks import evaluate_reconstruction, evaluate_tag_prediction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FVAE", "FVAEConfig", "Trainer",
+    "FieldSpec", "FieldSchema", "MultiFieldDataset",
+    "make_sc_like", "make_kd_like", "make_qb_like", "get_dataset",
+    "evaluate_reconstruction", "evaluate_tag_prediction",
+    "LookalikeSystem", "OnlineABTest",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Baseline user-representation models the paper compares against (§V-A1)."""
+
+from repro.baselines.base import UserRepresentationModel
+from repro.baselines.dense_vae import DenseInputCodec, MultDAE, MultVAE, RecVAE
+from repro.baselines.item2vec import Item2Vec
+from repro.baselines.job2vec import Job2Vec
+from repro.baselines.lda import LDAModel
+from repro.baselines.pca import PCAModel
+from repro.baselines.sgns import SkipGramNS
+
+__all__ = [
+    "UserRepresentationModel",
+    "PCAModel", "LDAModel", "Item2Vec", "Job2Vec", "SkipGramNS",
+    "MultDAE", "MultVAE", "RecVAE", "DenseInputCodec",
+]

@@ -1,0 +1,48 @@
+"""Common interface every user-representation model implements.
+
+The evaluation tasks (§V-B) are model-agnostic: they fit a model on training
+users, embed held-out users (possibly with some fields blanked for fold-in),
+and score features of a target field.  :class:`UserRepresentationModel` is the
+contract that makes FVAE and all seven baselines interchangeable in the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.dataset import MultiFieldDataset
+
+__all__ = ["UserRepresentationModel"]
+
+
+class UserRepresentationModel(abc.ABC):
+    """A model that learns a latent vector per user from multi-field profiles."""
+
+    #: Short display name used in benchmark tables.
+    name: str = "model"
+
+    @abc.abstractmethod
+    def fit(self, dataset: MultiFieldDataset, **kwargs) -> "UserRepresentationModel":
+        """Train on ``dataset`` and return ``self``."""
+
+    @abc.abstractmethod
+    def embed_users(self, dataset: MultiFieldDataset) -> np.ndarray:
+        """Return an ``(N, D)`` embedding for the users of ``dataset``.
+
+        ``dataset`` may contain blanked fields (fold-in); models must encode
+        from whatever features are present.
+        """
+
+    @abc.abstractmethod
+    def score_field(self, dataset: MultiFieldDataset, field: str) -> np.ndarray:
+        """Return ``(N, J_field)`` relevance scores for every feature of ``field``.
+
+        Higher means the model believes the user is more likely to have the
+        feature.  Used by both the reconstruction and tag-prediction tasks.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name='{self.name}')"

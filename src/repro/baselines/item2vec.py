@@ -1,0 +1,160 @@
+"""Item2Vec baseline [41, 42]: features as items, users as contexts.
+
+Every feature (across all fields, in the concatenated id space) is an item;
+features co-occurring in a user profile form skip-gram pairs.  After training,
+a user's representation is the average of their features' vectors — exactly
+the aggregation the paper uses both for the offline baseline and for the
+skip-gram look-alike baseline of the online A/B test (§V-F).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import UserRepresentationModel
+from repro.baselines.sgns import SkipGramNS
+from repro.data.dataset import MultiFieldDataset
+from repro.utils.rng import new_rng
+
+__all__ = ["Item2Vec"]
+
+
+class Item2Vec(UserRepresentationModel):
+    """Skip-gram-with-negative-sampling embeddings of profile co-occurrence.
+
+    Parameters
+    ----------
+    latent_dim:
+        Embedding dimension.
+    negatives:
+        Negative samples per positive pair.
+    pairs_per_user:
+        Skip-gram pairs sampled per user per epoch (a profile is one
+        unordered window, so pairs are sampled rather than enumerated).
+    epochs:
+        Passes over the users.
+    """
+
+    name = "Item2Vec"
+
+    def __init__(self, latent_dim: int = 64, negatives: int = 5,
+                 pairs_per_user: int = 40, epochs: int = 5, lr: float = 0.05,
+                 batch_users: int = 512, seed: int = 0) -> None:
+        self.latent_dim = latent_dim
+        self.negatives = negatives
+        self.pairs_per_user = pairs_per_user
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_users = batch_users
+        self.seed = seed
+        self.sgns: SkipGramNS | None = None
+        self._offsets: dict[str, int] | None = None
+        self._schema = None
+
+    # -- pair generation -------------------------------------------------------
+
+    def _profile_arrays(self, dataset: MultiFieldDataset,
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated global feature ids per user: (flat ids, offsets)."""
+        offsets = dataset.schema.offsets()
+        chunks = []
+        for name in dataset.field_names:
+            csr = dataset.field(name)
+            chunks.append((csr, offsets[name]))
+        counts = np.zeros(dataset.n_users, dtype=np.int64)
+        for csr, off in chunks:
+            counts += csr.row_nnz()
+        out_offsets = np.zeros(dataset.n_users + 1, dtype=np.int64)
+        np.cumsum(counts, out=out_offsets[1:])
+        flat = np.empty(out_offsets[-1], dtype=np.int64)
+        cursor = out_offsets[:-1].copy()
+        for csr, off in chunks:
+            nnz_per_row = csr.row_nnz()
+            for i in range(dataset.n_users):
+                lo, hi = csr.indptr[i], csr.indptr[i + 1]
+                n = hi - lo
+                if n:
+                    flat[cursor[i]:cursor[i] + n] = csr.indices[lo:hi] + off
+                    cursor[i] += n
+        return flat, out_offsets
+
+    def _sample_pairs(self, flat: np.ndarray, offsets: np.ndarray,
+                      users: np.ndarray, rng: np.random.Generator,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample ``pairs_per_user`` (center, context) pairs per user."""
+        sizes = offsets[users + 1] - offsets[users]
+        valid = sizes >= 2
+        users, sizes = users[valid], sizes[valid]
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        reps = np.minimum(self.pairs_per_user, sizes * (sizes - 1))
+        user_of_pair = np.repeat(users, reps)
+        size_of_pair = np.repeat(sizes, reps)
+        start_of_pair = offsets[user_of_pair]
+        i = rng.integers(0, size_of_pair)
+        j = rng.integers(0, size_of_pair - 1)
+        j = np.where(j >= i, j + 1, j)  # j != i, still uniform
+        return flat[start_of_pair + i], flat[start_of_pair + j]
+
+    # -- UserRepresentationModel -----------------------------------------------
+
+    def fit(self, dataset: MultiFieldDataset, **kwargs) -> "Item2Vec":
+        rng = new_rng(self.seed)
+        self._schema = dataset.schema
+        self._offsets = dataset.schema.offsets()
+        vocab = dataset.schema.total_vocab
+        self.sgns = SkipGramNS(vocab, self.latent_dim, negatives=self.negatives,
+                               lr=self.lr, seed=rng)
+        freq = np.zeros(vocab)
+        for name in dataset.field_names:
+            off = self._offsets[name]
+            counts = dataset.field(name).column_counts()
+            freq[off:off + counts.size] = counts
+        self.sgns.set_noise_distribution(freq)
+
+        flat, offsets = self._profile_arrays(dataset)
+        total_steps = max(self.epochs * ((dataset.n_users - 1) // self.batch_users + 1), 1)
+        step = 0
+        for __ in range(self.epochs):
+            order = rng.permutation(dataset.n_users)
+            for start in range(0, dataset.n_users, self.batch_users):
+                users = order[start:start + self.batch_users]
+                centers, contexts = self._sample_pairs(flat, offsets, users, rng)
+                lr = self.lr * max(0.1, 1.0 - step / total_steps)
+                self.sgns.train_pairs(centers, contexts, lr=lr)
+                step += 1
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.sgns is None:
+            raise RuntimeError("Item2Vec must be fitted before use")
+
+    def embed_users(self, dataset: MultiFieldDataset) -> np.ndarray:
+        """Average of the user's feature vectors (weighted by log1p counts)."""
+        self._require_fitted()
+        vectors = self.sgns.vectors()
+        out = np.zeros((dataset.n_users, self.latent_dim))
+        totals = np.zeros(dataset.n_users)
+        for name in dataset.field_names:
+            csr = dataset.field(name)
+            if csr.nnz == 0:
+                continue
+            off = self._offsets[name]
+            user_of = np.repeat(np.arange(dataset.n_users), csr.row_nnz())
+            w = np.ones(csr.nnz) if csr.weights is None else np.log1p(csr.weights)
+            np.add.at(out, user_of, vectors[csr.indices + off] * w[:, None])
+            np.add.at(totals, user_of, w)
+        nonzero = totals > 0
+        out[nonzero] /= totals[nonzero, None]
+        return out
+
+    def score_field(self, dataset: MultiFieldDataset, field: str) -> np.ndarray:
+        """Cosine similarity between user vectors and the field's item vectors."""
+        self._require_fitted()
+        z = self.embed_users(dataset)
+        off = self._offsets[field]
+        vocab = self._schema[field].vocab_size
+        items = self.sgns.vectors()[off:off + vocab]
+        z_n = z / np.maximum(np.linalg.norm(z, axis=1, keepdims=True), 1e-12)
+        items_n = items / np.maximum(np.linalg.norm(items, axis=1, keepdims=True), 1e-12)
+        return z_n @ items_n.T

@@ -1,0 +1,119 @@
+"""Skip-gram with negative sampling (SGNS) — shared core for Item2Vec/Job2Vec.
+
+A compact, fully vectorised NumPy implementation of word2vec-style training:
+sigmoid dot-product scores, ``k`` negatives per positive drawn from the
+unigram distribution raised to 3/4, and manual gradient updates (SGNS
+gradients are simple enough that autograd would only add overhead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["SkipGramNS"]
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    e = np.exp(x[~pos])
+    out[~pos] = e / (1.0 + e)
+    return out
+
+
+class SkipGramNS:
+    """Embedding trainer for (center, context) id pairs.
+
+    Parameters
+    ----------
+    vocab_size:
+        Total number of ids.
+    dim:
+        Embedding dimension.
+    negatives:
+        Negative samples per positive pair.
+    lr:
+        SGD learning rate (linearly decayed by :meth:`decay_lr` callers).
+    noise_power:
+        Exponent of the unigram noise distribution (word2vec uses 0.75).
+    """
+
+    def __init__(self, vocab_size: int, dim: int, negatives: int = 5,
+                 lr: float = 0.05, noise_power: float = 0.75,
+                 seed: int | np.random.Generator | None = 0) -> None:
+        if vocab_size <= 0 or dim <= 0:
+            raise ValueError("vocab_size and dim must be positive")
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.negatives = negatives
+        self.lr = lr
+        self.noise_power = noise_power
+        self._rng = new_rng(seed)
+        bound = 0.5 / dim
+        self.w_in = self._rng.uniform(-bound, bound, size=(vocab_size, dim))
+        self.w_out = np.zeros((vocab_size, dim))
+        self._noise_cdf: np.ndarray | None = None
+
+    def set_noise_distribution(self, frequencies: np.ndarray) -> None:
+        """Build the negative-sampling distribution from id frequencies."""
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if frequencies.shape != (self.vocab_size,):
+            raise ValueError(
+                f"frequencies must have shape ({self.vocab_size},), got {frequencies.shape}")
+        weights = np.maximum(frequencies, 0.0) ** self.noise_power
+        total = weights.sum()
+        if total <= 0:
+            weights = np.ones(self.vocab_size)
+            total = float(self.vocab_size)
+        self._noise_cdf = np.cumsum(weights) / total
+
+    def sample_negatives(self, n_pairs: int) -> np.ndarray:
+        """Draw ``(n_pairs, negatives)`` noise ids."""
+        if self._noise_cdf is None:
+            return self._rng.integers(0, self.vocab_size,
+                                      size=(n_pairs, self.negatives))
+        u = self._rng.random((n_pairs, self.negatives))
+        return np.searchsorted(self._noise_cdf, u).clip(max=self.vocab_size - 1)
+
+    def train_pairs(self, centers: np.ndarray, contexts: np.ndarray,
+                    lr: float | None = None) -> float:
+        """One SGNS step over a batch of positive pairs; returns the mean loss."""
+        centers = np.asarray(centers, dtype=np.int64)
+        contexts = np.asarray(contexts, dtype=np.int64)
+        if centers.shape != contexts.shape or centers.ndim != 1:
+            raise ValueError("centers and contexts must be 1-D arrays of equal length")
+        if centers.size == 0:
+            return 0.0
+        lr = self.lr if lr is None else lr
+        n = centers.size
+        negs = self.sample_negatives(n)                       # (n, K)
+
+        c = self.w_in[centers]                                # (n, D)
+        o_pos = self.w_out[contexts]                          # (n, D)
+        o_neg = self.w_out[negs]                              # (n, K, D)
+
+        s_pos = _stable_sigmoid((c * o_pos).sum(axis=1))      # (n,)
+        s_neg = _stable_sigmoid(np.einsum("nd,nkd->nk", c, o_neg))  # (n, K)
+
+        g_pos = s_pos - 1.0                                   # dL/d(c·o_pos)
+        g_neg = s_neg                                         # dL/d(c·o_neg)
+
+        grad_c = g_pos[:, None] * o_pos + np.einsum("nk,nkd->nd", g_neg, o_neg)
+        grad_o_pos = g_pos[:, None] * c
+        grad_o_neg = g_neg[:, :, None] * c[:, None, :]
+
+        np.add.at(self.w_in, centers, -lr * grad_c)
+        np.add.at(self.w_out, contexts, -lr * grad_o_pos)
+        np.add.at(self.w_out, negs.ravel(),
+                  -lr * grad_o_neg.reshape(-1, self.dim))
+
+        loss = -(np.log(np.maximum(s_pos, 1e-12)).mean()
+                 + np.log(np.maximum(1.0 - s_neg, 1e-12)).sum(axis=1).mean())
+        return float(loss)
+
+    def vectors(self) -> np.ndarray:
+        """The learned (input) embedding matrix."""
+        return self.w_in

@@ -1,0 +1,17 @@
+"""The paper's core contribution: the Field-aware VAE and its training loop."""
+
+from repro.core.annealing import BetaSchedule, ConstantBeta, LinearAnnealing
+from repro.core.config import FVAEConfig
+from repro.core.decoder import FieldAwareDecoder, FieldOutputHead
+from repro.core.encoder import FieldAwareEncoder, HashedEmbeddingBag
+from repro.core.fvae import FVAE
+from repro.core.serialization import load_fvae, save_fvae
+from repro.core.trainer import EpochRecord, Trainer, TrainHistory
+
+__all__ = [
+    "FVAE", "FVAEConfig",
+    "FieldAwareEncoder", "FieldAwareDecoder", "HashedEmbeddingBag", "FieldOutputHead",
+    "Trainer", "TrainHistory", "EpochRecord",
+    "save_fvae", "load_fvae",
+    "BetaSchedule", "ConstantBeta", "LinearAnnealing",
+]

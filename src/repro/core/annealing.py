@@ -1,0 +1,52 @@
+"""KL annealing schedules (the β of Eq. 7).
+
+Following Liang et al. [8], training starts with no KL regularisation and
+ramps β linearly to its peak, which avoids posterior collapse on large sparse
+data.  Fig 8 of the paper sweeps the peak value.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BetaSchedule", "ConstantBeta", "LinearAnnealing"]
+
+
+class BetaSchedule:
+    """Callable mapping a global step to the current β."""
+
+    def __call__(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantBeta(BetaSchedule):
+    """β fixed at ``value`` for the whole run."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"beta must be non-negative: {value}")
+        self.value = value
+
+    def __call__(self, step: int) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantBeta({self.value})"
+
+
+class LinearAnnealing(BetaSchedule):
+    """β ramps linearly from 0 to ``peak`` over ``anneal_steps`` steps."""
+
+    def __init__(self, peak: float, anneal_steps: int) -> None:
+        if peak < 0:
+            raise ValueError(f"peak beta must be non-negative: {peak}")
+        if anneal_steps < 0:
+            raise ValueError(f"anneal_steps must be non-negative: {anneal_steps}")
+        self.peak = peak
+        self.anneal_steps = anneal_steps
+
+    def __call__(self, step: int) -> float:
+        if self.anneal_steps == 0:
+            return self.peak
+        return self.peak * min(1.0, step / self.anneal_steps)
+
+    def __repr__(self) -> str:
+        return f"LinearAnnealing(peak={self.peak}, steps={self.anneal_steps})"

@@ -1,0 +1,100 @@
+"""FVAE persistence: save/load a trained model including its hash tables.
+
+The paper's offline module (§IV-D) trains the FVAE, then ships it to the
+serving proxy.  That hand-off needs more than the weights: the dynamic hash
+tables mapping raw feature ids to embedding rows are part of the model state.
+``save_fvae`` captures config + schema + tables + parameters in one ``.npz``
+archive; ``load_fvae`` restores an identical model (tables frozen by default,
+the correct serving posture).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import FVAEConfig
+from repro.core.fvae import FVAE
+from repro.data.fields import FieldSchema, FieldSpec
+
+__all__ = ["save_fvae", "load_fvae"]
+
+_FORMAT_VERSION = 1
+
+
+def save_fvae(model: FVAE, path: str | Path) -> None:
+    """Serialize a (trained) FVAE to ``path`` (npz archive)."""
+    schema_payload = [
+        {"name": s.name, "vocab_size": s.vocab_size, "sample": s.sample,
+         "alpha": s.alpha}
+        for s in model.schema
+    ]
+    arrays: dict[str, np.ndarray] = {}
+    for name, values in model.state_dict().items():
+        arrays[f"param/{name}"] = values
+    for spec in model.schema:
+        table = model.encoder.bag(spec.name).table
+        items = list(table.items())
+        keys = np.asarray([k for k, __ in items], dtype=object)
+        rows = np.asarray([v for __, v in items], dtype=np.int64)
+        arrays[f"table_keys/{spec.name}"] = keys
+        arrays[f"table_rows/{spec.name}"] = rows
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(model.config),
+        "schema": schema_payload,
+        "step": model._step,
+    }
+    np.savez_compressed(path, meta=np.asarray(json.dumps(meta)), **arrays)
+
+
+def load_fvae(path: str | Path, freeze_tables: bool = True) -> FVAE:
+    """Restore an FVAE saved by :func:`save_fvae`.
+
+    ``freeze_tables`` keeps the hash tables from growing — the correct
+    behaviour for serving.  Pass ``False`` to continue training on new data
+    (the dynamic-hash-table feature-growth story).
+    """
+    with np.load(path, allow_pickle=True) as payload:
+        meta = json.loads(str(payload["meta"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported model format: {meta.get('format_version')}")
+        schema = FieldSchema([FieldSpec(**spec) for spec in meta["schema"]])
+        model = FVAE(schema, FVAEConfig(**meta["config"]))
+        model._step = int(meta["step"])
+
+        # Restore tables (and make room in the parameters) before weights.
+        for spec in schema:
+            keys = payload[f"table_keys/{spec.name}"]
+            rows = payload[f"table_rows/{spec.name}"]
+            bag = model.encoder.bag(spec.name)
+            order = np.argsort(rows)
+            for key in keys[order]:
+                bag.table.lookup_one(_restore_key(key))
+            # Grow to the *saved* capacities so load_state_dict sees
+            # same-or-larger arrays on every sparse parameter.
+            saved_bag_rows = payload[f"param/encoder.bag_{spec.name}.weight"].shape[0]
+            saved_head_rows = payload[f"param/decoder.head_{spec.name}.weight"].shape[0]
+            bag._ensure_capacity(max(bag.table.size, saved_bag_rows))
+            model.decoder.head(spec.name).ensure_capacity(
+                max(bag.table.size, saved_head_rows))
+            if freeze_tables:
+                bag.table.freeze()
+
+        state = {name[len("param/"):]: payload[name]
+                 for name in payload.files if name.startswith("param/")}
+        model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+def _restore_key(key):
+    """npz round-trips Python ints as numpy scalars; normalise them back."""
+    if isinstance(key, np.integer):
+        return int(key)
+    if isinstance(key, np.str_):
+        return str(key)
+    return key

@@ -1,0 +1,183 @@
+"""Mini-batch training loop (Algorithm 1) with timing instrumentation.
+
+The trainer is deliberately model-agnostic: anything exposing
+``loss_on_batch(batch, step) -> (loss Tensor, diagnostics dict)`` and
+``parameters()`` can be trained.  Timing is tracked per epoch and cumulatively
+so the speed benchmarks (Table V, Fig 6) read throughput straight from the
+training history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import MultiFieldDataset
+from repro.nn.optim import Adam, Optimizer, SGD
+from repro.nn.schedules import clip_grad_norm
+from repro.utils.rng import new_rng
+from repro.utils.timer import Timer
+
+__all__ = ["EpochRecord", "TrainHistory", "Trainer"]
+
+
+@dataclass
+class EpochRecord:
+    """Summary of one training epoch."""
+
+    epoch: int
+    loss: float
+    recon: float
+    kl: float
+    beta: float
+    epoch_time: float
+    cumulative_time: float
+    users_per_second: float
+    eval_metrics: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainHistory:
+    """Sequence of epoch records plus run-level aggregates."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return self.epochs[-1].cumulative_time if self.epochs else 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epochs[-1].loss if self.epochs else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Mean training throughput in users/second."""
+        if not self.epochs or self.total_time == 0:
+            return float("nan")
+        total_users = sum(r.users_per_second * r.epoch_time for r in self.epochs)
+        return total_users / self.total_time
+
+    def series(self, key: str) -> list[float]:
+        """Column view over epochs: ``loss``, ``kl``, ``cumulative_time``, …"""
+        return [getattr(r, key) for r in self.epochs]
+
+
+class Trainer:
+    """Runs Algorithm 1: shuffled mini-batches, noisy gradients, Adam updates.
+
+    Parameters
+    ----------
+    model:
+        Object with ``loss_on_batch``, ``parameters()``, ``train()``/``eval()``.
+    lr:
+        Learning rate.
+    optimizer:
+        ``"adam"`` (default) or ``"sgd"``.
+    weight_decay:
+        L2 penalty applied inside the optimizer.
+    """
+
+    def __init__(self, model, lr: float = 1e-3, optimizer: str = "adam",
+                 weight_decay: float = 0.0, lr_schedule=None,
+                 clip_norm: float | None = None) -> None:
+        self.model = model
+        self.base_lr = lr
+        self.lr_schedule = lr_schedule
+        self.clip_norm = clip_norm
+        if optimizer == "adam":
+            self.optimizer: Optimizer = Adam(model.parameters(), lr=lr,
+                                             weight_decay=weight_decay)
+        elif optimizer == "sgd":
+            self.optimizer = SGD(model.parameters(), lr=lr, weight_decay=weight_decay)
+        else:
+            raise ValueError(f"unknown optimizer '{optimizer}'; use 'adam' or 'sgd'")
+
+    def fit(self, dataset: MultiFieldDataset, epochs: int = 10,
+            batch_size: int = 512,
+            rng: np.random.Generator | int | None = 0,
+            eval_fn: Callable[[], dict[str, float]] | None = None,
+            eval_every: int = 1,
+            early_stopping_metric: str | None = None,
+            patience: int = 3,
+            max_seconds: float | None = None,
+            verbose: bool = False) -> TrainHistory:
+        """Train for up to ``epochs`` epochs (or until ``max_seconds`` elapse).
+
+        ``eval_fn`` is called every ``eval_every`` epochs (training mode is
+        restored afterwards); when ``early_stopping_metric`` names one of its
+        keys, training stops after ``patience`` epochs without improvement.
+        """
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive: {epochs}")
+        rng = new_rng(rng)
+        history = TrainHistory()
+        timer = Timer()
+        step = getattr(self.model, "_step", 0)
+        best_metric = -np.inf
+        since_best = 0
+
+        for epoch in range(epochs):
+            self.model.train()
+            losses, recons, kls, betas = [], [], [], []
+            n_seen = 0
+            timer.start()
+            for batch in dataset.iter_batches(batch_size, shuffle=True, rng=rng):
+                self.optimizer.zero_grad()
+                loss, diag = self.model.loss_on_batch(batch, step)
+                loss.backward()
+                if self.clip_norm is not None:
+                    clip_grad_norm(self.optimizer.params, self.clip_norm)
+                if self.lr_schedule is not None:
+                    self.optimizer.lr = self.base_lr * self.lr_schedule(step)
+                self.optimizer.step()
+                step += 1
+                n_seen += batch.n_users
+                losses.append(diag.get("loss", loss.item()))
+                recons.append(diag.get("recon", float("nan")))
+                kls.append(diag.get("kl", float("nan")))
+                betas.append(diag.get("beta", float("nan")))
+            epoch_time = timer.stop()
+
+            record = EpochRecord(
+                epoch=epoch,
+                loss=float(np.mean(losses)) if losses else float("nan"),
+                recon=float(np.mean(recons)) if recons else float("nan"),
+                kl=float(np.mean(kls)) if kls else float("nan"),
+                beta=betas[-1] if betas else float("nan"),
+                epoch_time=epoch_time,
+                cumulative_time=timer.elapsed,
+                users_per_second=n_seen / epoch_time if epoch_time > 0 else float("inf"),
+            )
+
+            if eval_fn is not None and (epoch + 1) % eval_every == 0:
+                was_training = self.model.training
+                self.model.eval()
+                record.eval_metrics = dict(eval_fn())
+                if was_training:
+                    self.model.train()
+
+            history.epochs.append(record)
+            if verbose:
+                extra = " ".join(f"{k}={v:.4f}" for k, v in record.eval_metrics.items())
+                print(f"[epoch {epoch}] loss={record.loss:.4f} kl={record.kl:.4f} "
+                      f"time={record.cumulative_time:.2f}s {extra}")
+
+            if early_stopping_metric and record.eval_metrics:
+                current = record.eval_metrics.get(early_stopping_metric)
+                if current is None:
+                    raise KeyError(f"eval_fn did not report '{early_stopping_metric}'")
+                if current > best_metric + 1e-6:
+                    best_metric = current
+                    since_best = 0
+                else:
+                    since_best += 1
+                    if since_best >= patience:
+                        break
+            if max_seconds is not None and timer.elapsed >= max_seconds:
+                break
+
+        self.model.eval()
+        return history

@@ -1,0 +1,17 @@
+"""Multi-field user data: schema, sparse storage, batching, and generators."""
+
+from repro.data.dataset import DatasetStats, FieldBatch, MultiFieldDataset, UserBatch
+from repro.data.fields import FieldSchema, FieldSpec
+from repro.data.loaders import (PAPER_STATS, get_dataset, make_kd_like,
+                                make_qb_like, make_sc_like)
+from repro.data.sparse import CSRMatrix
+from repro.data.synthetic import (SyntheticDataset, TopicFieldConfig,
+                                  barabasi_albert_profiles, generate_topic_profiles)
+
+__all__ = [
+    "FieldSpec", "FieldSchema", "CSRMatrix",
+    "MultiFieldDataset", "UserBatch", "FieldBatch", "DatasetStats",
+    "TopicFieldConfig", "SyntheticDataset", "generate_topic_profiles",
+    "barabasi_albert_profiles",
+    "make_sc_like", "make_kd_like", "make_qb_like", "get_dataset", "PAPER_STATS",
+]

@@ -1,0 +1,108 @@
+"""Field schema: named feature fields with per-field vocabularies.
+
+The paper groups user features into ``K`` fields (e.g. ``ch1``, ``ch2``,
+``ch3``, ``tag`` for the Kandian dataset).  A :class:`FieldSpec` describes one
+field; a :class:`FieldSchema` is the ordered collection the dataset and models
+share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = ["FieldSpec", "FieldSchema"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Description of one feature field.
+
+    Attributes
+    ----------
+    name:
+        Field identifier, e.g. ``"ch1"`` or ``"tag"``.
+    vocab_size:
+        Number of distinct features ``J_k`` in this field.
+    sample:
+        Whether the inter-batch feature sampling of §IV-C3 applies to this
+        field during training (the paper enables it for super-sparse fields
+        such as topic tags).
+    alpha:
+        Default reconstruction-loss weight ``α_k`` for this field (Eq. 7).
+    """
+
+    name: str
+    vocab_size: int
+    sample: bool = False
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+        if self.vocab_size <= 0:
+            raise ValueError(f"field '{self.name}': vocab_size must be positive")
+        if self.alpha < 0:
+            raise ValueError(f"field '{self.name}': alpha must be non-negative")
+
+
+class FieldSchema:
+    """Ordered, name-addressable collection of :class:`FieldSpec`."""
+
+    def __init__(self, specs: Sequence[FieldSpec]) -> None:
+        if not specs:
+            raise ValueError("schema needs at least one field")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names: {names}")
+        self._specs: tuple[FieldSpec, ...] = tuple(specs)
+        self._by_name: dict[str, FieldSpec] = {s.name: s for s in specs}
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self._specs]
+
+    @property
+    def total_vocab(self) -> int:
+        """Total feature count ``J = Σ J_k`` across fields."""
+        return sum(s.vocab_size for s in self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[FieldSpec]:
+        return iter(self._specs)
+
+    def __getitem__(self, key: str | int) -> FieldSpec:
+        if isinstance(key, int):
+            return self._specs[key]
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise KeyError(f"unknown field '{key}'; have {self.names}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FieldSchema) and self._specs == other._specs
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{s.name}(J={s.vocab_size})" for s in self._specs)
+        return f"FieldSchema([{parts}])"
+
+    def subset(self, names: Sequence[str]) -> "FieldSchema":
+        """Schema restricted to ``names`` (order taken from the argument)."""
+        return FieldSchema([self[name] for name in names])
+
+    def alphas(self) -> dict[str, float]:
+        return {s.name: s.alpha for s in self._specs}
+
+    def offsets(self) -> dict[str, int]:
+        """Start offset of each field in the concatenated ``J``-dim space."""
+        out: dict[str, int] = {}
+        acc = 0
+        for spec in self._specs:
+            out[spec.name] = acc
+            acc += spec.vocab_size
+        return out

@@ -1,0 +1,9 @@
+"""Data-parallel training simulation for the distributed speedup study."""
+
+from repro.distributed.parameter_server import ParameterServerCost
+from repro.distributed.simulator import (CommunicationModel,
+                                         DistributedTrainingSimulator,
+                                         WorkerMeasurement)
+
+__all__ = ["CommunicationModel", "ParameterServerCost",
+           "DistributedTrainingSimulator", "WorkerMeasurement"]

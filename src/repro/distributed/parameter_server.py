@@ -1,0 +1,68 @@
+"""Parameter-server synchronisation cost model.
+
+The paper's production training runs on a parameter-server (PS)
+architecture: workers *pull* the embedding rows their batch touches and
+*push* row-sparse gradients back, while dense parameters replicate everywhere.
+Compared to ring-allreduce, PS traffic scales with the *touched rows per
+batch* (tiny, thanks to the batched softmax) rather than with the full model,
+but the servers' aggregate bandwidth is shared across workers.
+
+Use this as the ``comm`` argument of
+:class:`repro.distributed.DistributedTrainingSimulator` to study the
+architecture the paper actually deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParameterServerCost"]
+
+
+@dataclass(frozen=True)
+class ParameterServerCost:
+    """Per-step synchronisation cost of a PS deployment.
+
+    Attributes
+    ----------
+    n_servers:
+        Parameter-server processes sharing the load.
+    latency_seconds:
+        Round-trip request latency per step (pull + push pipelined).
+    server_bandwidth_bytes_per_second:
+        Aggregate network bandwidth *per server*.
+    touched_row_bytes:
+        Bytes pulled + pushed per worker per step (embedding rows touched by
+        the batch; small because of the batched softmax).
+    dense_bytes:
+        Bytes of dense (replicated) parameters synchronised per step.
+    """
+
+    n_servers: int = 2
+    latency_seconds: float = 1e-3
+    server_bandwidth_bytes_per_second: float = 1.25e9
+    touched_row_bytes: float = 2e6
+    dense_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ValueError(f"n_servers must be positive: {self.n_servers}")
+        if self.server_bandwidth_bytes_per_second <= 0:
+            raise ValueError("server bandwidth must be positive")
+
+    def sync_cost(self, n_workers: int, gradient_bytes: float) -> float:
+        """Cost of one synchronised step with ``n_workers`` workers.
+
+        ``gradient_bytes`` (the simulator's dense-parameter estimate) is added
+        to the configured ``dense_bytes``; all traffic funnels through the
+        shared server pool, so per-step transfer time grows linearly in the
+        worker count once the servers saturate.
+        """
+        if n_workers <= 1:
+            return 0.0
+        per_worker = 2.0 * self.touched_row_bytes + self.dense_bytes \
+            + gradient_bytes
+        aggregate = per_worker * n_workers
+        transfer = aggregate / (self.n_servers
+                                * self.server_bandwidth_bytes_per_second)
+        return self.latency_seconds + transfer

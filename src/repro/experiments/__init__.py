@@ -1,0 +1,30 @@
+"""Experiment runners: one module per table/figure of the paper's evaluation.
+
+Each ``run_*`` function is a self-contained, parameterised reproduction of one
+experiment; benchmarks (``benchmarks/``) are thin wrappers that execute these
+at a chosen scale and print the regenerated table/series.  The per-experiment
+index lives in DESIGN.md; measured-vs-paper numbers in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (DEFAULT_LATENT_DIM, ExperimentScale,
+                                      baseline_zoo, fvae_config_for)
+from repro.experiments.exp_datasets import run_table1
+from repro.experiments.exp_reconstruction import run_table2
+from repro.experiments.exp_tag_prediction import run_table3
+from repro.experiments.exp_billion_scale import run_table4
+from repro.experiments.exp_training_speed import run_table5
+from repro.experiments.exp_ab_test import run_table6
+from repro.experiments.exp_tsne import run_fig4
+from repro.experiments.exp_sampling import run_fig5
+from repro.experiments.exp_auc_vs_time import run_fig6
+from repro.experiments.exp_alpha import run_fig7
+from repro.experiments.exp_beta import run_fig8
+from repro.experiments.exp_scalability import run_fig9
+from repro.experiments.exp_distributed import run_fig10
+
+__all__ = [
+    "ExperimentScale", "baseline_zoo", "fvae_config_for", "DEFAULT_LATENT_DIM",
+    "run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
+    "run_table6", "run_fig4", "run_fig5", "run_fig6", "run_fig7", "run_fig8",
+    "run_fig9", "run_fig10",
+]

@@ -1,0 +1,105 @@
+"""Shared experiment plumbing: scales, model zoo, default configs.
+
+Every experiment accepts an :class:`ExperimentScale` so tests can run the
+same code in seconds while benchmarks run the full (scaled-down-from-paper)
+configuration in minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import (Item2Vec, Job2Vec, LDAModel, MultDAE, MultVAE,
+                             PCAModel, RecVAE)
+from repro.baselines.base import UserRepresentationModel
+from repro.core import FVAE, FVAEConfig
+from repro.data.fields import FieldSchema
+
+__all__ = ["ExperimentScale", "SMALL", "BENCH", "baseline_zoo",
+           "fvae_config_for", "DEFAULT_LATENT_DIM"]
+
+DEFAULT_LATENT_DIM = 64
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for runtime.
+
+    Attributes
+    ----------
+    n_users: users in the generated dataset.
+    epochs: training epochs for iterative models.
+    batch_size: mini-batch size (the paper uses 512).
+    latent_dim: representation dimension for every model.
+    lr: learning rate for the neural models.
+    seed: master seed.
+    """
+
+    n_users: int = 3000
+    epochs: int = 15
+    batch_size: int = 512
+    latent_dim: int = DEFAULT_LATENT_DIM
+    lr: float = 2e-3
+    seed: int = 0
+
+
+#: Fast scale for unit/integration tests.
+SMALL = ExperimentScale(n_users=600, epochs=5, batch_size=200, latent_dim=24)
+#: Default benchmark scale.
+BENCH = ExperimentScale(n_users=3000, epochs=15, batch_size=512, latent_dim=48)
+
+
+def fvae_config_for(scale: ExperimentScale, sampling_rate: float = 0.5,
+                    **overrides) -> FVAEConfig:
+    """The FVAE configuration used across experiments at a given scale."""
+    params = dict(
+        latent_dim=scale.latent_dim,
+        encoder_hidden=[4 * scale.latent_dim],
+        decoder_hidden=[4 * scale.latent_dim],
+        beta=0.2,
+        anneal_steps=10 * max(scale.n_users // scale.batch_size, 1),
+        sampling_rate=sampling_rate,
+        input_dropout=0.1,
+        seed=scale.seed,
+    )
+    params.update(overrides)
+    return FVAEConfig(**params)
+
+
+def baseline_zoo(schema: FieldSchema, scale: ExperimentScale,
+                 include: tuple[str, ...] | None = None,
+                 ) -> dict[str, tuple[UserRepresentationModel, dict]]:
+    """All models of Tables II/III: ``name -> (model, fit kwargs)``.
+
+    ``include`` restricts the zoo (e.g. the billion-scale Table IV drops the
+    dense VAEs for scalability, as the paper does).
+    """
+    d = scale.latent_dim
+    hidden = [4 * d]
+    neural_fit = dict(epochs=scale.epochs, batch_size=scale.batch_size,
+                      lr=scale.lr)
+    zoo: dict[str, tuple[UserRepresentationModel, dict]] = {
+        "PCA": (PCAModel(latent_dim=d, seed=scale.seed), {}),
+        "LDA": (LDAModel(n_topics=d, n_iterations=8, e_steps=15,
+                         seed=scale.seed), {}),
+        "Item2Vec": (Item2Vec(latent_dim=d, epochs=max(scale.epochs // 2, 2),
+                              seed=scale.seed), {}),
+        "Mult-DAE": (MultDAE(schema, latent_dim=d, hidden=hidden,
+                             seed=scale.seed), neural_fit),
+        "Mult-VAE": (MultVAE(schema, latent_dim=d, hidden=hidden,
+                             anneal_steps=10 * max(scale.n_users
+                                                   // scale.batch_size, 1),
+                             seed=scale.seed), neural_fit),
+        "RecVAE": (RecVAE(schema, latent_dim=d, hidden=hidden,
+                          anneal_steps=10 * max(scale.n_users
+                                                // scale.batch_size, 1),
+                          seed=scale.seed), neural_fit),
+        "Job2Vec": (Job2Vec(latent_dim=d, epochs=max(scale.epochs // 2, 2),
+                            seed=scale.seed), {}),
+        "FVAE": (FVAE(schema, fvae_config_for(scale, sampling_rate=1.0)),
+                 neural_fit),
+    }
+    if include is not None:
+        zoo = {name: zoo[name] for name in include}
+    return zoo

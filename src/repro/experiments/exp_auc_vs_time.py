@@ -1,0 +1,71 @@
+"""Figure 6 — validation AUC versus wall-clock training time for several r.
+
+Expected shape (paper): a moderate rate (r=0.1) reaches the best AUC in the
+least time; very small r trains fastest per epoch but converges to a similar
+AUC more slowly; large r wastes time per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import FVAE, Trainer
+from repro.data import make_kd_like
+from repro.experiments.common import ExperimentScale, fvae_config_for
+from repro.tasks import evaluate_tag_prediction
+from repro.viz import format_table
+
+__all__ = ["Fig6Result", "run_fig6"]
+
+
+@dataclass
+class CurvePoint:
+    seconds: float
+    auc: float
+
+
+@dataclass
+class Fig6Result:
+    curves: dict[float, list[CurvePoint]]   # rate -> (time, auc) curve
+
+    def to_text(self) -> str:
+        rows = []
+        for rate, curve in self.curves.items():
+            for point in curve:
+                rows.append([f"r={rate}", f"{point.seconds:.2f}",
+                             point.auc])
+        return format_table(["Rate", "seconds", "AUC"], rows,
+                            title="Figure 6 — validation AUC vs training time")
+
+    def final_auc(self, rate: float) -> float:
+        return self.curves[rate][-1].auc
+
+    def total_time(self, rate: float) -> float:
+        return self.curves[rate][-1].seconds
+
+
+def run_fig6(scale: ExperimentScale | None = None,
+             rates: tuple[float, ...] = (0.01, 0.1, 0.2),
+             ) -> Fig6Result:
+    """Train one FVAE per rate, evaluating AUC after every epoch.
+
+    Runs on the KD-like dataset, where the tag vocabulary is large enough for
+    the sampling rate to move the per-epoch cost (cf. :func:`run_fig5`).
+    """
+    scale = scale or ExperimentScale(n_users=3000, epochs=10)
+    syn = make_kd_like(n_users=scale.n_users, seed=scale.seed)
+    train, test = syn.dataset.split([0.8, 0.2], rng=scale.seed)
+
+    curves: dict[float, list[CurvePoint]] = {}
+    for rate in rates:
+        model = FVAE(train.schema, fvae_config_for(scale, sampling_rate=rate))
+        trainer = Trainer(model, lr=scale.lr)
+        history = trainer.fit(
+            train, epochs=scale.epochs, batch_size=scale.batch_size,
+            rng=scale.seed,
+            eval_fn=lambda m=model: {
+                "auc": evaluate_tag_prediction(m, test, rng=scale.seed).auc})
+        curves[rate] = [CurvePoint(seconds=r.cumulative_time,
+                                   auc=r.eval_metrics["auc"])
+                        for r in history.epochs]
+    return Fig6Result(curves=curves)

@@ -1,0 +1,50 @@
+"""Table I — dataset statistics.
+
+Generates the three dataset analogues and reports the same columns the paper
+does (#Users, #Fields, N̄, J), side by side with the paper's production-scale
+numbers so the scale mapping is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import PAPER_STATS, get_dataset
+from repro.data.dataset import DatasetStats
+from repro.viz import format_table
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    """Generated stats per dataset, paired with the paper's Table I row."""
+
+    stats: dict[str, DatasetStats]
+
+    def to_text(self) -> str:
+        rows = []
+        for key, stat in self.stats.items():
+            paper = PAPER_STATS[key]
+            rows.append([
+                key,
+                f"{stat.n_users:,}", f"{paper.n_users:.2e}",
+                stat.n_fields,
+                f"{stat.avg_features:.2f}", f"{paper.avg_features:.2f}",
+                f"{stat.total_vocab:,}", f"{paper.total_vocab:.2e}",
+            ])
+        return format_table(
+            ["Dataset", "#Users", "(paper)", "#Fields", "N̄", "(paper)",
+             "J", "(paper)"],
+            rows, title="Table I — dataset statistics (generated vs paper)")
+
+
+def run_table1(scale_users: dict[str, int] | None = None,
+               seed: int = 0) -> Table1Result:
+    """Generate the KD/QB/SC-like presets and collect their statistics."""
+    scale_users = scale_users or {"KD": 8000, "QB": 5000, "SC": 3000}
+    stats = {}
+    for key, n_users in scale_users.items():
+        syn = get_dataset(key.lower(), n_users=n_users, seed=seed)
+        stats[key] = syn.dataset.stats()
+    return Table1Result(stats=stats)

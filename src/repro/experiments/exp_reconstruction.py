@@ -1,0 +1,67 @@
+"""Table II — reconstruction AUC/mAP on the SC-like dataset, all 8 models.
+
+Expected shape (paper): FVAE wins every *per-field* column; Mult-VAE/RecVAE
+edge it on the *overall* AUC only, because their single softmax is calibrated
+across fields while the FVAE's per-field multinomials are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data import make_sc_like
+from repro.experiments.common import ExperimentScale, baseline_zoo
+from repro.tasks import ReconstructionResult, evaluate_reconstruction
+from repro.viz import format_table
+
+__all__ = ["Table2Result", "run_table2"]
+
+
+@dataclass
+class Table2Result:
+    """Reconstruction metrics per model."""
+
+    results: dict[str, ReconstructionResult]
+    field_names: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        blocks = []
+        for metric in ("auc", "map"):
+            headers = ["Model", "Overall"] + self.field_names
+            rows = []
+            for name, res in self.results.items():
+                row_vals = res.row(metric)
+                rows.append([name] + [row_vals.get(h, float("nan"))
+                                      for h in headers[1:]])
+            blocks.append(format_table(
+                headers, rows,
+                title=f"Table II — reconstruction {metric.upper()} (SC-like)"))
+        return "\n\n".join(blocks)
+
+    def best_per_field(self, metric: str = "auc") -> dict[str, str]:
+        """Winning model per column (used by assertions on the paper's shape)."""
+        out = {}
+        columns = ["Overall"] + self.field_names
+        for col in columns:
+            best_name, best_val = None, float("-inf")
+            for name, res in self.results.items():
+                val = res.row(metric).get(col, float("nan"))
+                if val == val and val > best_val:
+                    best_name, best_val = name, val
+            out[col] = best_name
+        return out
+
+
+def run_table2(scale: ExperimentScale | None = None,
+               include: tuple[str, ...] | None = None) -> Table2Result:
+    """Fit every model on the SC-like training split and reconstruct held-out
+    users' profiles."""
+    scale = scale or ExperimentScale()
+    syn = make_sc_like(n_users=scale.n_users, seed=scale.seed)
+    train, test = syn.dataset.split([0.8, 0.2], rng=scale.seed)
+    results: dict[str, ReconstructionResult] = {}
+    for name, (model, fit_kwargs) in baseline_zoo(train.schema, scale,
+                                                  include=include).items():
+        model.fit(train, **fit_kwargs)
+        results[name] = evaluate_reconstruction(model, test)
+    return Table2Result(results=results, field_names=test.field_names)

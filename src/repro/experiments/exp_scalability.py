@@ -1,0 +1,89 @@
+"""Figure 9 — scalability on Barabási–Albert synthetic data.
+
+Two sweeps, as in the paper: (a) vary the *average* profile size with the max
+feature vocabulary fixed; (b) vary the *max* vocabulary with the average
+profile size fixed.  Expected shape: runtime grows linearly with the average
+feature size and stays flat with the max feature size — i.e. the FVAE's cost
+is driven by observed features, not by J.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import FVAE, Trainer
+from repro.data import barabasi_albert_profiles
+from repro.experiments.common import ExperimentScale, fvae_config_for
+from repro.viz import format_series
+
+__all__ = ["Fig9Result", "run_fig9"]
+
+
+@dataclass
+class Fig9Result:
+    avg_sizes: list[int]
+    time_by_avg: list[float]
+    max_sizes: list[int]
+    time_by_max: list[float]
+
+    def to_text(self) -> str:
+        a = format_series(self.avg_sizes, {"seconds": self.time_by_avg},
+                          x_label="avg feature size",
+                          title="Figure 9a — runtime vs average feature size "
+                                "(max fixed)")
+        b = format_series(self.max_sizes, {"seconds": self.time_by_max},
+                          x_label="max feature size",
+                          title="Figure 9b — runtime vs max feature size "
+                                "(avg fixed)")
+        return f"{a}\n\n{b}"
+
+    def linear_fit_r2_avg(self) -> float:
+        """R² of a linear fit to runtime-vs-average-size (should be ≈1)."""
+        import numpy as np
+
+        x = np.asarray(self.avg_sizes, dtype=float)
+        y = np.asarray(self.time_by_avg)
+        coeffs = np.polyfit(x, y, deg=1)
+        pred = np.polyval(coeffs, x)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    def max_size_slowdown(self) -> float:
+        """Largest/smallest runtime over the max-size sweep (should be ≈1)."""
+        return max(self.time_by_max) / min(self.time_by_max)
+
+
+def _train_once(dataset, scale: ExperimentScale, epochs: int) -> float:
+    model = FVAE(dataset.schema,
+                 fvae_config_for(scale, sampling_rate=1.0,
+                                 encoder_hidden=[2 * scale.latent_dim],
+                                 decoder_hidden=[2 * scale.latent_dim]))
+    history = Trainer(model, lr=scale.lr).fit(
+        dataset, epochs=epochs, batch_size=scale.batch_size, rng=scale.seed)
+    return history.total_time
+
+
+def run_fig9(scale: ExperimentScale | None = None,
+             avg_sizes: tuple[int, ...] = (25, 50, 100, 200),
+             fixed_max: int = 20_000,
+             max_sizes: tuple[int, ...] = (2_000, 10_000, 50_000, 100_000),
+             fixed_avg: int = 50,
+             epochs: int = 1) -> Fig9Result:
+    """Generate BA data per sweep point and time one FVAE training epoch."""
+    scale = scale or ExperimentScale(n_users=1500, latent_dim=32)
+
+    time_by_avg = []
+    for avg in avg_sizes:
+        ds = barabasi_albert_profiles(scale.n_users, avg_features=avg,
+                                      max_features=fixed_max, seed=scale.seed)
+        time_by_avg.append(_train_once(ds, scale, epochs))
+
+    time_by_max = []
+    for max_size in max_sizes:
+        ds = barabasi_albert_profiles(scale.n_users, avg_features=fixed_avg,
+                                      max_features=max_size, seed=scale.seed)
+        time_by_max.append(_train_once(ds, scale, epochs))
+
+    return Fig9Result(avg_sizes=list(avg_sizes), time_by_avg=time_by_avg,
+                      max_sizes=list(max_sizes), time_by_max=time_by_max)

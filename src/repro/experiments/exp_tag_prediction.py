@@ -1,0 +1,46 @@
+"""Table III — tag prediction AUC/mAP on the SC-like dataset, all 8 models.
+
+Expected shape (paper): FVAE beats every baseline on both metrics; dense VAEs
+are the strongest baselines; PCA is the weakest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import make_sc_like
+from repro.experiments.common import ExperimentScale, baseline_zoo
+from repro.tasks import TagPredictionResult, evaluate_tag_prediction
+from repro.viz import format_table
+
+__all__ = ["Table3Result", "run_table3"]
+
+
+@dataclass
+class Table3Result:
+    results: dict[str, TagPredictionResult]
+
+    def to_text(self) -> str:
+        rows = [[name, res.auc, res.map] for name, res in self.results.items()]
+        return format_table(["Model", "AUC", "mAP"], rows,
+                            title="Table III — tag prediction (SC-like)")
+
+    def winner(self, metric: str = "auc") -> str:
+        return max(self.results, key=lambda n: getattr(self.results[n], metric))
+
+
+def run_table3(scale: ExperimentScale | None = None,
+               include: tuple[str, ...] | None = None,
+               target_field: str = "tag") -> Table3Result:
+    """Fold-in tag prediction for the full model zoo."""
+    scale = scale or ExperimentScale()
+    syn = make_sc_like(n_users=scale.n_users, seed=scale.seed)
+    train, test = syn.dataset.split([0.8, 0.2], rng=scale.seed)
+    results: dict[str, TagPredictionResult] = {}
+    for name, (model, fit_kwargs) in baseline_zoo(train.schema, scale,
+                                                  include=include).items():
+        model.fit(train, **fit_kwargs)
+        results[name] = evaluate_tag_prediction(model, test,
+                                                target_field=target_field,
+                                                rng=scale.seed)
+    return Table3Result(results=results)

@@ -1,0 +1,17 @@
+"""Feature-id indexing: dynamic hash tables and static feature hashing.
+
+The paper replaces static feature hashing (collision-prone, fixed size) with
+*dynamic hash tables* that map raw feature ids to dense embedding rows and
+grow as new ids arrive (§IV-C1).  Both are provided here:
+
+* :class:`DynamicHashTable` — the paper's approach; collision-free, grows
+  dynamically, O(1) lookup.
+* :class:`FeatureHasher` — the static baseline (used by Mult-VAE at KD/QB
+  scale in the paper's Table V footnote); hashes ids into a fixed number of
+  buckets and therefore collides.
+"""
+
+from repro.hashing.dynamic_table import DynamicHashTable
+from repro.hashing.feature_hashing import FeatureHasher
+
+__all__ = ["DynamicHashTable", "FeatureHasher"]

@@ -1,0 +1,104 @@
+"""Dynamic hash table mapping raw feature ids to dense embedding rows.
+
+This is the data structure behind §IV-C1 of the paper: instead of hashing
+billions of feature ids into a fixed table (which collides), every *new* id
+encountered during training is assigned the next free dense row.  Lookup is
+O(1); the table — and any embedding matrix keyed by it — grows with the data,
+which also solves the feature-growth problem when new data sources come
+online.
+
+The implementation builds on Python's dict (an open-addressing hash table),
+with vectorised batch lookups for the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["DynamicHashTable"]
+
+
+class DynamicHashTable:
+    """Grow-able mapping ``feature id -> dense row index``.
+
+    Parameters
+    ----------
+    frozen:
+        When True the table refuses to grow; unknown ids map to ``-1``
+        (callers typically drop them).  Inference-time tables are frozen so
+        serving never mutates training state.
+    """
+
+    def __init__(self, frozen: bool = False) -> None:
+        self._index: dict[Hashable, int] = {}
+        self.frozen = frozen
+        self.grows = 0  # number of ids inserted, for instrumentation
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._index)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct ids currently stored."""
+        return len(self._index)
+
+    def lookup_one(self, key: Hashable) -> int:
+        """Map a single id to its row, inserting it if the table may grow."""
+        row = self._index.get(key)
+        if row is not None:
+            return row
+        if self.frozen:
+            return -1
+        row = len(self._index)
+        self._index[key] = row
+        self.grows += 1
+        return row
+
+    def lookup(self, keys: Iterable[Hashable]) -> np.ndarray:
+        """Vectorised :meth:`lookup_one` returning an ``int64`` array.
+
+        Unknown ids are inserted (table not frozen) or mapped to ``-1``
+        (frozen).
+        """
+        index = self._index
+        if self.frozen:
+            out = np.fromiter((index.get(k, -1) for k in keys), dtype=np.int64)
+            return out
+        result = []
+        for key in keys:
+            row = index.get(key)
+            if row is None:
+                row = len(index)
+                index[key] = row
+                self.grows += 1
+            result.append(row)
+        return np.asarray(result, dtype=np.int64)
+
+    def freeze(self) -> "DynamicHashTable":
+        """Stop growing; unknown ids now map to ``-1``."""
+        self.frozen = True
+        return self
+
+    def unfreeze(self) -> "DynamicHashTable":
+        self.frozen = False
+        return self
+
+    def rows_for(self, keys: Iterable[Hashable]) -> np.ndarray:
+        """Lookup without ever growing, regardless of frozen state."""
+        return np.fromiter((self._index.get(k, -1) for k in keys), dtype=np.int64)
+
+    def items(self):
+        return self._index.items()
+
+    def copy(self) -> "DynamicHashTable":
+        clone = DynamicHashTable(frozen=self.frozen)
+        clone._index = dict(self._index)
+        return clone

@@ -1,0 +1,21 @@
+"""Look-alike system: embedding store, serving, audience expansion, A/B harness.
+
+Reproduces the deployment framework of §IV-D (offline embedding store +
+online serving cache) and the uploader-recommendation A/B test of §V-F with a
+behaviour simulator standing in for live traffic.
+"""
+
+from repro.lookalike.ab_test import ABTestReport, OnlineABTest, UploaderBehaviorSimulator
+from repro.lookalike.ann import LSHIndex
+from repro.lookalike.quality import (expansion_lift, expansion_precision,
+                                     precision_at_depths)
+from repro.lookalike.serving import ServingProxy
+from repro.lookalike.store import EmbeddingStore, LRUCache
+from repro.lookalike.system import LookalikeSystem
+
+__all__ = [
+    "EmbeddingStore", "LRUCache", "ServingProxy", "LookalikeSystem",
+    "UploaderBehaviorSimulator", "OnlineABTest", "ABTestReport",
+    "expansion_precision", "expansion_lift", "precision_at_depths",
+    "LSHIndex",
+]

@@ -1,0 +1,121 @@
+"""Approximate nearest-neighbour recall: random-hyperplane LSH.
+
+The paper's look-alike system recalls accounts by L2 similarity over
+billion-scale embedding sets; exact scans do not serve at that scale, so
+production deployments put an ANN index in the online module.  This is a
+self-contained signed-random-projection (SimHash) index with multi-table
+probing: vectors hashing to the same bucket in any table become candidates,
+and only candidates are scored exactly.
+
+Recall quality is tunable with ``n_tables`` (more tables → higher recall,
+more memory) and ``n_bits`` (more bits → smaller buckets → faster but lower
+recall); the tests measure recall@k against the exact scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["LSHIndex"]
+
+
+class LSHIndex:
+    """Multi-table signed-random-projection index over row vectors.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    n_tables:
+        Independent hash tables (union of candidates across tables).
+    n_bits:
+        Hyperplanes per table; bucket count is ``2**n_bits`` per table.
+    seed:
+        Seed for the hyperplane draws.
+    """
+
+    def __init__(self, dim: int, n_tables: int = 8, n_bits: int = 12,
+                 seed: int | np.random.Generator | None = 0) -> None:
+        if dim <= 0 or n_tables <= 0 or n_bits <= 0:
+            raise ValueError("dim, n_tables and n_bits must be positive")
+        if n_bits > 62:
+            raise ValueError(f"n_bits too large for integer bucket keys: {n_bits}")
+        rng = new_rng(seed)
+        self.dim = dim
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        self._planes = rng.normal(size=(n_tables, n_bits, dim))
+        self._buckets: list[dict[int, list[int]]] = [dict() for __ in range(n_tables)]
+        self._vectors: np.ndarray | None = None
+
+    def _bucket_keys(self, vectors: np.ndarray) -> np.ndarray:
+        """Bucket key of each vector in each table, shape ``(n, n_tables)``."""
+        bits = np.einsum("tbd,nd->ntb", self._planes, vectors) > 0
+        powers = 1 << np.arange(self.n_bits, dtype=np.int64)
+        return (bits * powers).sum(axis=2)
+
+    def fit(self, vectors: np.ndarray) -> "LSHIndex":
+        """Index ``vectors`` (``(n, dim)``); replaces any previous contents."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}) vectors, got {vectors.shape}")
+        self._vectors = vectors
+        self._buckets = [dict() for __ in range(self.n_tables)]
+        keys = self._bucket_keys(vectors)
+        for table in range(self.n_tables):
+            buckets = self._buckets[table]
+            for idx, key in enumerate(keys[:, table]):
+                buckets.setdefault(int(key), []).append(idx)
+        return self
+
+    @property
+    def size(self) -> int:
+        return 0 if self._vectors is None else self._vectors.shape[0]
+
+    def candidates(self, query: np.ndarray) -> np.ndarray:
+        """Union of the query's bucket members across all tables."""
+        if self._vectors is None:
+            raise RuntimeError("index is empty; call fit() first")
+        keys = self._bucket_keys(np.atleast_2d(query))[0]
+        seen: set[int] = set()
+        for table, key in enumerate(keys):
+            seen.update(self._buckets[table].get(int(key), ()))
+        return np.fromiter(seen, dtype=np.int64, count=len(seen))
+
+    def query(self, query: np.ndarray, k: int,
+              fallback_to_exact: bool = True) -> np.ndarray:
+        """Approximate top-``k`` nearest rows by L2 distance.
+
+        When the candidate set is smaller than ``k`` and
+        ``fallback_to_exact`` is set, the query falls back to an exact scan
+        (guaranteed results beat silent truncation in serving).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive: {k}")
+        query = np.asarray(query, dtype=np.float64).ravel()
+        candidate_idx = self.candidates(query)
+        if candidate_idx.size < k and fallback_to_exact:
+            candidate_idx = np.arange(self.size)
+        if candidate_idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        vectors = self._vectors[candidate_idx]
+        d2 = np.sum((vectors - query) ** 2, axis=1)
+        top = min(k, candidate_idx.size)
+        best = np.argpartition(d2, top - 1)[:top]
+        order = np.argsort(d2[best])
+        return candidate_idx[best[order]]
+
+    def recall_at_k(self, queries: np.ndarray, k: int) -> float:
+        """Fraction of exact top-``k`` neighbours the index retrieves."""
+        if self._vectors is None:
+            raise RuntimeError("index is empty; call fit() first")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        hits = 0
+        for q in queries:
+            d2 = np.sum((self._vectors - q) ** 2, axis=1)
+            exact = set(np.argpartition(d2, k - 1)[:k].tolist())
+            approx = set(self.query(q, k, fallback_to_exact=False).tolist())
+            hits += len(exact & approx)
+        return hits / (k * queries.shape[0])

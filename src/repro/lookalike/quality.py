@@ -1,0 +1,43 @@
+"""Audience-quality metrics for look-alike expansion.
+
+The online A/B test measures engagement; offline, expansion quality is
+usually tracked as precision/lift against a held-out trait (here: the
+ground-truth topic of the synthetic users).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expansion_precision", "expansion_lift", "precision_at_depths"]
+
+
+def expansion_precision(expanded: np.ndarray, positives: np.ndarray) -> float:
+    """Fraction of the expanded audience that carries the seed trait."""
+    expanded = np.asarray(expanded)
+    if expanded.size == 0:
+        return float("nan")
+    positive_set = np.asarray(positives)
+    return float(np.isin(expanded, positive_set).mean())
+
+
+def expansion_lift(expanded: np.ndarray, positives: np.ndarray,
+                   population_size: int) -> float:
+    """Precision relative to the trait's base rate in the population."""
+    if population_size <= 0:
+        raise ValueError(f"population_size must be positive: {population_size}")
+    base_rate = np.asarray(positives).size / population_size
+    if base_rate == 0:
+        return float("nan")
+    return expansion_precision(expanded, positives) / base_rate
+
+
+def precision_at_depths(expanded: np.ndarray, positives: np.ndarray,
+                        depths: list[int]) -> dict[int, float]:
+    """Precision of the top-``k`` prefix for several expansion depths."""
+    out: dict[int, float] = {}
+    for depth in depths:
+        if depth <= 0:
+            raise ValueError(f"depths must be positive: {depth}")
+        out[depth] = expansion_precision(np.asarray(expanded)[:depth], positives)
+    return out

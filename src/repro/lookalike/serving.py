@@ -1,0 +1,56 @@
+"""Model-serving proxy: cache → store → model fallback (§IV-D online module)."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.lookalike.store import EmbeddingStore, LRUCache
+
+__all__ = ["ServingProxy"]
+
+
+class ServingProxy:
+    """Serves user embeddings with a cache in front of the offline store.
+
+    Lookup order mirrors the paper's online module: high-performance cache
+    first, bulk store second, and — when a model and featurizer are attached —
+    on-the-fly inference for users missing from both (freshly active users).
+    """
+
+    def __init__(self, store: EmbeddingStore, cache_capacity: int = 10000,
+                 infer_fn=None) -> None:
+        self.store = store
+        self.cache = LRUCache(cache_capacity)
+        self._infer_fn = infer_fn
+        self.inferences = 0
+
+    def get_embedding(self, user_id: Hashable) -> np.ndarray | None:
+        """Return the user's embedding, or ``None`` when it cannot be produced."""
+        vec = self.cache.get(user_id)
+        if vec is not None:
+            return vec
+        vec = self.store.get(user_id)
+        if vec is None and self._infer_fn is not None:
+            vec = self._infer_fn(user_id)
+            self.inferences += 1
+            if vec is not None:
+                self.store.put(user_id, vec)
+        if vec is not None:
+            self.cache.put(user_id, vec)
+        return vec
+
+    def get_embeddings(self, user_ids) -> np.ndarray:
+        """Batch lookup; missing users raise (serving requires coverage)."""
+        rows = []
+        for uid in user_ids:
+            vec = self.get_embedding(uid)
+            if vec is None:
+                raise KeyError(f"no embedding available for user {uid!r}")
+            rows.append(vec)
+        return np.stack(rows) if rows else np.empty((0, self.store.dim))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate

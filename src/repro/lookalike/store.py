@@ -1,0 +1,129 @@
+"""Embedding storage: the offline store and the online cache of §IV-D.
+
+The paper's offline module persists inferred user embeddings to bulk storage
+(HDFS) and the online module serves them through a high-performance cache
+(Redis).  :class:`EmbeddingStore` is the bulk store (with npz persistence);
+:class:`LRUCache` is the bounded cache with hit/miss accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["EmbeddingStore", "LRUCache"]
+
+
+class EmbeddingStore:
+    """Bulk key → vector store (the HDFS stand-in).
+
+    All vectors must share one dimension; bulk writes are vectorised.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive: {dim}")
+        self.dim = dim
+        self._data: dict[Hashable, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def put(self, key: Hashable, vector: np.ndarray) -> None:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.dim},)")
+        self._data[key] = vector
+
+    def put_many(self, keys: Iterable[Hashable], matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        keys = list(keys)
+        if matrix.shape != (len(keys), self.dim):
+            raise ValueError(f"matrix shape {matrix.shape} != ({len(keys)}, {self.dim})")
+        for key, row in zip(keys, matrix):
+            self._data[key] = row
+
+    def get(self, key: Hashable) -> np.ndarray | None:
+        return self._data.get(key)
+
+    def get_many(self, keys: Iterable[Hashable]) -> np.ndarray:
+        """Stack vectors for ``keys``; raises on any missing key."""
+        rows = []
+        for key in keys:
+            vec = self._data.get(key)
+            if vec is None:
+                raise KeyError(f"no embedding stored for key {key!r}")
+            rows.append(vec)
+        return np.stack(rows) if rows else np.empty((0, self.dim))
+
+    def keys(self) -> list[Hashable]:
+        return list(self._data)
+
+    def as_matrix(self) -> tuple[list[Hashable], np.ndarray]:
+        """Return ``(keys, matrix)`` with aligned ordering."""
+        keys = list(self._data)
+        matrix = np.stack([self._data[k] for k in keys]) if keys \
+            else np.empty((0, self.dim))
+        return keys, matrix
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        keys, matrix = self.as_matrix()
+        np.savez_compressed(path, keys=np.asarray(keys, dtype=object),
+                            matrix=matrix, dim=self.dim)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EmbeddingStore":
+        with np.load(path, allow_pickle=True) as payload:
+            store = cls(int(payload["dim"]))
+            store.put_many(list(payload["keys"]), payload["matrix"])
+        return store
+
+
+class LRUCache:
+    """Bounded LRU cache in front of a store (the Redis stand-in).
+
+    Tracks hits and misses so serving benchmarks can report hit rate.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> np.ndarray | None:
+        vec = self._entries.get(key)
+        if vec is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return vec
+
+    def put(self, key: Hashable, vector: np.ndarray) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = vector
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

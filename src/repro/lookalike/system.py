@@ -1,0 +1,95 @@
+"""Look-alike recall: average-pooled account embeddings + L2 similarity (§V-F).
+
+The paper's uploader recommendation works in three steps: (1) learn user
+representations, (2) build each uploader-account's embedding by average
+pooling the embeddings of the users who follow it, (3) recall candidate
+accounts for a user by L2 similarity.  :class:`LookalikeSystem` implements
+exactly that pipeline over an embedding matrix, plus classic seed-audience
+expansion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LookalikeSystem"]
+
+
+class LookalikeSystem:
+    """Audience expansion / account recall over a user embedding matrix.
+
+    Parameters
+    ----------
+    user_embeddings:
+        ``(N, D)`` matrix; row ``i`` is user ``i``'s representation.
+    """
+
+    def __init__(self, user_embeddings: np.ndarray) -> None:
+        user_embeddings = np.asarray(user_embeddings, dtype=np.float64)
+        if user_embeddings.ndim != 2:
+            raise ValueError("user_embeddings must be a 2-D (N, D) matrix")
+        self.user_embeddings = user_embeddings
+        self._account_embeddings: np.ndarray | None = None
+
+    @property
+    def n_users(self) -> int:
+        return self.user_embeddings.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.user_embeddings.shape[1]
+
+    # -- account construction ----------------------------------------------------
+
+    def account_embedding(self, follower_ids: np.ndarray) -> np.ndarray:
+        """Average pooling over the account's followers (the paper's rule)."""
+        follower_ids = np.asarray(follower_ids, dtype=np.int64)
+        if follower_ids.size == 0:
+            raise ValueError("an account needs at least one follower to embed")
+        return self.user_embeddings[follower_ids].mean(axis=0)
+
+    def build_accounts(self, follower_lists: list[np.ndarray]) -> np.ndarray:
+        """Stack account embeddings for a list of follower-id arrays."""
+        self._account_embeddings = np.stack(
+            [self.account_embedding(f) for f in follower_lists])
+        return self._account_embeddings
+
+    # -- recall --------------------------------------------------------------------
+
+    def recall_accounts(self, user_ids: np.ndarray, k: int,
+                        account_embeddings: np.ndarray | None = None) -> np.ndarray:
+        """Top-``k`` accounts per user by (negative) L2 distance.
+
+        Returns an ``(len(user_ids), k)`` array of account indices, best first.
+        """
+        accounts = account_embeddings if account_embeddings is not None \
+            else self._account_embeddings
+        if accounts is None:
+            raise RuntimeError("call build_accounts() first or pass account_embeddings")
+        if not 0 < k <= accounts.shape[0]:
+            raise ValueError(f"k must be in [1, {accounts.shape[0]}]: {k}")
+        users = self.user_embeddings[np.asarray(user_ids, dtype=np.int64)]
+        d2 = (np.sum(users ** 2, axis=1, keepdims=True)
+              - 2.0 * users @ accounts.T
+              + np.sum(accounts ** 2, axis=1))
+        top = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        order = np.take_along_axis(d2, top, axis=1).argsort(axis=1)
+        return np.take_along_axis(top, order, axis=1)
+
+    def expand_audience(self, seed_user_ids: np.ndarray, k: int,
+                        exclude_seeds: bool = True) -> np.ndarray:
+        """Classic look-alike: find the ``k`` users most similar to a seed set.
+
+        The seed set is average-pooled into one query vector and users are
+        ranked by L2 distance to it.
+        """
+        seed_user_ids = np.asarray(seed_user_ids, dtype=np.int64)
+        query = self.account_embedding(seed_user_ids)
+        d2 = np.sum((self.user_embeddings - query) ** 2, axis=1)
+        if exclude_seeds:
+            d2[seed_user_ids] = np.inf
+        limit = min(k, self.n_users - (seed_user_ids.size if exclude_seeds else 0))
+        if limit <= 0:
+            return np.empty(0, dtype=np.int64)
+        top = np.argpartition(d2, limit - 1)[:limit]
+        return top[np.argsort(d2[top])]

@@ -1,0 +1,9 @@
+"""Evaluation metrics: AUC/mAP (paper) plus top-K matching-stage metrics."""
+
+from repro.metrics.ranking import (average_precision, mean_ranking_metrics,
+                                   roc_auc, sampled_negative_metrics)
+from repro.metrics.topk import ndcg_at_k, precision_at_k, recall_at_k, topk_report
+
+__all__ = ["roc_auc", "average_precision", "mean_ranking_metrics",
+           "sampled_negative_metrics",
+           "recall_at_k", "precision_at_k", "ndcg_at_k", "topk_report"]

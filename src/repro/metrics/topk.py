@@ -1,0 +1,92 @@
+"""Top-K ranking metrics: Recall@K, Precision@K, NDCG@K.
+
+The matching stage (Fig 3 of the paper) recalls a short candidate list per
+user, so production dashboards track cut-off metrics alongside AUC/mAP.
+All three follow the standard definitions and are averaged over users with at
+least one positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sparse import CSRMatrix
+
+__all__ = ["recall_at_k", "precision_at_k", "ndcg_at_k", "topk_report"]
+
+
+def _top_k_columns(scores: np.ndarray, k: int) -> np.ndarray:
+    k = min(k, scores.shape[1])
+    top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    order = np.take_along_axis(-scores, top, axis=1).argsort(axis=1)
+    return np.take_along_axis(top, order, axis=1)
+
+
+def _validate(scores: np.ndarray, positives: CSRMatrix, k: int) -> None:
+    if k <= 0:
+        raise ValueError(f"k must be positive: {k}")
+    if scores.shape != positives.shape:
+        raise ValueError(f"scores {scores.shape} vs positives {positives.shape}")
+
+
+def recall_at_k(scores: np.ndarray, positives: CSRMatrix, k: int) -> float:
+    """Mean over users of |top-K ∩ positives| / |positives|."""
+    _validate(scores, positives, k)
+    top = _top_k_columns(scores, k)
+    values = []
+    for i in range(positives.n_rows):
+        pos_ids, __ = positives.row(i)
+        if pos_ids.size == 0:
+            continue
+        hits = np.isin(top[i], pos_ids).sum()
+        values.append(hits / pos_ids.size)
+    return float(np.mean(values)) if values else float("nan")
+
+
+def precision_at_k(scores: np.ndarray, positives: CSRMatrix, k: int) -> float:
+    """Mean over users of |top-K ∩ positives| / K."""
+    _validate(scores, positives, k)
+    top = _top_k_columns(scores, k)
+    effective_k = top.shape[1]
+    values = []
+    for i in range(positives.n_rows):
+        pos_ids, __ = positives.row(i)
+        if pos_ids.size == 0:
+            continue
+        values.append(np.isin(top[i], pos_ids).sum() / effective_k)
+    return float(np.mean(values)) if values else float("nan")
+
+
+def ndcg_at_k(scores: np.ndarray, positives: CSRMatrix, k: int) -> float:
+    """Mean normalised discounted cumulative gain at cut-off ``k``.
+
+    Binary relevance; the ideal DCG places all positives at the top.
+    """
+    _validate(scores, positives, k)
+    top = _top_k_columns(scores, k)
+    effective_k = top.shape[1]
+    discounts = 1.0 / np.log2(np.arange(2, effective_k + 2))
+    values = []
+    for i in range(positives.n_rows):
+        pos_ids, __ = positives.row(i)
+        if pos_ids.size == 0:
+            continue
+        gains = np.isin(top[i], pos_ids).astype(np.float64)
+        dcg = float((gains * discounts).sum())
+        ideal_hits = min(pos_ids.size, effective_k)
+        idcg = float(discounts[:ideal_hits].sum())
+        values.append(dcg / idcg if idcg > 0 else 0.0)
+    return float(np.mean(values)) if values else float("nan")
+
+
+def topk_report(scores: np.ndarray, positives: CSRMatrix,
+                ks: list[int]) -> dict[int, dict[str, float]]:
+    """Recall/Precision/NDCG at several cut-offs in one pass per k."""
+    return {
+        k: {
+            "recall": recall_at_k(scores, positives, k),
+            "precision": precision_at_k(scores, positives, k),
+            "ndcg": ndcg_at_k(scores, positives, k),
+        }
+        for k in ks
+    }

@@ -1,0 +1,24 @@
+"""Minimal NumPy deep-learning substrate (autograd, layers, optimizers).
+
+The paper builds the FVAE on TensorFlow; this package replaces that dependency
+with a from-scratch reverse-mode autograd engine featuring the row-sparse
+gradient path the paper's efficiency tricks require.
+"""
+
+from repro.nn import functional
+from repro.nn.layers import (MLP, Dropout, Embedding, LayerNorm, Linear,
+                             Module, Sequential)
+from repro.nn.losses import gaussian_kl, gaussian_kl_to, mse, multinomial_nll
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedules import (ConstantLR, CosineDecay, StepDecay,
+                                WarmupWrapper, clip_grad_norm)
+from repro.nn.tensor import Parameter, Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "Tensor", "Parameter", "as_tensor", "no_grad", "is_grad_enabled",
+    "Module", "Linear", "MLP", "Dropout", "Sequential", "Embedding", "LayerNorm",
+    "Optimizer", "SGD", "Adam",
+    "ConstantLR", "StepDecay", "CosineDecay", "WarmupWrapper", "clip_grad_norm",
+    "multinomial_nll", "gaussian_kl", "gaussian_kl_to", "mse",
+]

@@ -1,0 +1,240 @@
+"""Functional operations on :class:`~repro.nn.tensor.Tensor`.
+
+Besides the usual activations this module implements the three operations the
+paper's efficiency section (§IV-C) relies on:
+
+* :func:`rows` / :func:`take` — gather rows (or scalar entries) of a
+  parameter.  For row-sparse parameters the backward pass records
+  ``(rows, grad_rows)`` pairs instead of a dense gradient, so the update cost
+  is proportional to the gathered rows only.  Together with
+  :class:`repro.hashing.DynamicHashTable` this is the "dynamic hash table"
+  encoder input layer.
+* :func:`embedding_bag` — segment-sum of gathered rows, i.e. the first encoder
+  layer computed directly from sparse feature ids (cost ``O(N̄·D)`` instead of
+  ``O(J·D)``).
+* The decoder's *batched softmax* is the composition
+  ``log_softmax(h @ rows(W, cand).T + take(b, cand))`` — logits are computed
+  for the batch's candidate feature set only (cost ``O(N̄_b·D)``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Parameter, Tensor, as_tensor
+
+__all__ = [
+    "relu", "tanh", "sigmoid", "exp", "log", "softplus",
+    "rows", "take", "embedding_bag",
+    "softmax", "log_softmax", "dropout", "concat", "stack_rows",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit, ``max(x, 0)``."""
+    return as_tensor(x).relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def exp(x: Tensor) -> Tensor:
+    return as_tensor(x).exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return as_tensor(x).log()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + e^x)`` computed stably as ``max(x,0) + log1p(e^-|x|)``."""
+    x = as_tensor(x)
+    data = np.maximum(x.data, 0.0) + np.log1p(np.exp(-np.abs(x.data)))
+
+    def backward(grad: np.ndarray) -> None:
+        sig = np.empty_like(x.data)
+        pos = x.data >= 0
+        sig[pos] = 1.0 / (1.0 + np.exp(-x.data[pos]))
+        e = np.exp(x.data[~pos])
+        sig[~pos] = e / (1.0 + e)
+        x._accumulate(grad * sig)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def _is_sparse_param(t: Tensor) -> bool:
+    return isinstance(t, Parameter) and t.sparse
+
+
+def rows(weight: Tensor, index: np.ndarray) -> Tensor:
+    """Gather ``weight[index]`` (rows of a 2-D tensor).
+
+    For row-sparse parameters the gradient is recorded as a sparse part; for
+    everything else it is scattered into a dense gradient with ``np.add.at``.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    out_data = weight.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        if _is_sparse_param(weight):
+            weight.add_sparse_grad(index, grad)
+        else:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, index, grad)
+            weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def take(weight: Tensor, index: np.ndarray) -> Tensor:
+    """Gather entries of a 1-D tensor (e.g. per-feature biases)."""
+    index = np.asarray(index, dtype=np.int64)
+    if weight.data.ndim != 1:
+        raise ValueError("take() expects a 1-D tensor; use rows() for matrices")
+    out_data = weight.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        if _is_sparse_param(weight):
+            weight.add_sparse_grad(index, grad)
+        else:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, index, grad)
+            weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def embedding_bag(weight: Tensor, indices: np.ndarray, offsets: np.ndarray,
+                  per_index_weights: np.ndarray | None = None) -> Tensor:
+    """Segment-sum of embedding rows: the sparse first encoder layer.
+
+    Parameters
+    ----------
+    weight:
+        ``(capacity, D)`` embedding matrix (typically a sparse
+        :class:`Parameter` backed by a dynamic hash table).
+    indices:
+        Flat ``int64`` array of row ids for all bags, concatenated.
+    offsets:
+        ``(B + 1,)`` array; bag ``i`` covers ``indices[offsets[i]:offsets[i+1]]``.
+        Empty bags are allowed and produce a zero row.
+    per_index_weights:
+        Optional multiplicative weight per index (feature weights/counts).
+
+    Returns
+    -------
+    Tensor of shape ``(B, D)`` where row ``i`` is the (weighted) sum of the
+    gathered embedding rows of bag ``i``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or offsets.size < 1:
+        raise ValueError("offsets must be a 1-D array of length B+1")
+    n_bags = offsets.size - 1
+    if offsets[0] != 0 or offsets[-1] != indices.size:
+        raise ValueError("offsets must start at 0 and end at len(indices)")
+
+    gathered = weight.data[indices]
+    if per_index_weights is not None:
+        per_index_weights = np.asarray(per_index_weights, dtype=weight.data.dtype)
+        gathered = gathered * per_index_weights[:, None]
+    # segment ids: bag index for each flat index
+    segment = np.repeat(np.arange(n_bags), np.diff(offsets))
+    out_data = np.zeros((n_bags, weight.data.shape[1]), dtype=weight.data.dtype)
+    np.add.at(out_data, segment, gathered)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_rows = grad[segment]
+        if per_index_weights is not None:
+            grad_rows = grad_rows * per_index_weights[:, None]
+        if _is_sparse_param(weight):
+            weight.add_sparse_grad(indices, grad_rows)
+        else:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices, grad_rows)
+            weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (differentiable, numerically stable)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (differentiable, numerically stable)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+
+    def backward(grad: np.ndarray) -> None:
+        soft = np.exp(out_data)
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, scale kept by ``1/(1-p)``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1): {p}")
+    x = as_tensor(x)
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, splits, axis=axis)
+        for t, piece in zip(tensors, pieces):
+            if t.requires_grad:
+                t._accumulate(piece)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
+    """Stack 1-D tensors into a 2-D tensor (axis 0)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=0)
+
+    def backward(grad: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(grad[i])
+
+    return Tensor._make(out_data, tuple(tensors), backward)

@@ -1,0 +1,78 @@
+"""Loss functions used by the VAE family of models.
+
+The two building blocks of the paper's ELBO (Eq. 7):
+
+* :func:`multinomial_nll` — negative multinomial log-likelihood
+  ``-Σ_j F_ij · log π_j(z_i)`` (Eq. 4), computed from log-probabilities so it
+  composes with the batched softmax.
+* :func:`gaussian_kl` — KL divergence between the diagonal-Gaussian posterior
+  ``q(z|u) = N(μ, σ²)`` and the standard-normal prior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = ["multinomial_nll", "gaussian_kl", "gaussian_kl_to", "mse"]
+
+
+def multinomial_nll(log_probs: Tensor, targets: np.ndarray,
+                    reduce_mean: bool = True) -> Tensor:
+    """Negative multinomial log-likelihood.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(B, C)`` log-probabilities (output of ``log_softmax``).
+    targets:
+        ``(B, C)`` non-negative counts / multi-hot indicators ``F_ij``.
+    reduce_mean:
+        Average over the batch dimension if True, else sum.
+    """
+    targets = np.asarray(targets)
+    if targets.shape != log_probs.shape:
+        raise ValueError(f"targets shape {targets.shape} != log_probs shape {log_probs.shape}")
+    total = -(as_tensor(targets) * log_probs).sum()
+    if reduce_mean:
+        total = total * (1.0 / log_probs.shape[0])
+    return total
+
+
+def gaussian_kl(mu: Tensor, logvar: Tensor, reduce_mean: bool = True) -> Tensor:
+    """KL( N(mu, exp(logvar)) || N(0, I) ), summed over latent dims.
+
+    Closed form: ``0.5 Σ (exp(logvar) + mu² − 1 − logvar)``.
+    """
+    kl = (mu * mu + logvar.exp() - logvar - 1.0).sum() * 0.5
+    if reduce_mean:
+        kl = kl * (1.0 / mu.shape[0])
+    return kl
+
+
+def gaussian_kl_to(mu_q: Tensor, logvar_q: Tensor,
+                   mu_p: np.ndarray, logvar_p: np.ndarray,
+                   reduce_mean: bool = True) -> Tensor:
+    """KL( N(mu_q, exp(logvar_q)) || N(mu_p, exp(logvar_p)) ) with a *fixed* prior.
+
+    ``mu_p``/``logvar_p`` are treated as constants (no gradient), matching the
+    RecVAE composite prior where the prior is a frozen copy of earlier
+    parameters.
+    """
+    mu_p = as_tensor(np.asarray(mu_p))
+    logvar_p_arr = np.asarray(logvar_p)
+    inv_var_p = as_tensor(np.exp(-logvar_p_arr))
+    diff = mu_q - mu_p
+    kl = ((logvar_p_arr - logvar_q) * 0.5
+          + (logvar_q.exp() + diff * diff) * inv_var_p * 0.5
+          - 0.5).sum()
+    if reduce_mean:
+        kl = kl * (1.0 / mu_q.shape[0])
+    return kl
+
+
+def mse(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error (used in tests and small baselines)."""
+    diff = pred - as_tensor(np.asarray(target))
+    return (diff * diff).mean()

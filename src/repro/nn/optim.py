@@ -1,0 +1,159 @@
+"""Optimizers with dense and row-sparse update paths.
+
+``Adam`` and ``SGD`` understand the row-sparse gradients recorded by
+:func:`repro.nn.functional.rows` / ``embedding_bag`` / ``take`` on sparse
+parameters: instead of materialising a full-vocabulary gradient, only the
+rows touched in the current step are updated.  This is the optimizer-side
+half of the paper's complexity reduction (§IV-C) — the per-step cost becomes
+proportional to the number of *observed* features, not to ``J``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+def _coalesce(parts: list[tuple[np.ndarray, np.ndarray]]) -> tuple[np.ndarray, np.ndarray]:
+    """Merge sparse gradient parts into unique rows with summed gradients."""
+    if len(parts) == 1:
+        rows, grads = parts[0]
+    else:
+        rows = np.concatenate([r for r, __ in parts])
+        grads = np.concatenate([g for __, g in parts])
+    unique_rows, inverse = np.unique(rows, return_inverse=True)
+    if unique_rows.size == rows.size:
+        # already unique; preserve gradient order aligned with unique_rows
+        order = np.argsort(rows, kind="stable")
+        return rows[order], grads[order]
+    summed = np.zeros((unique_rows.size,) + grads.shape[1:], dtype=grads.dtype)
+    np.add.at(summed, inverse, grads)
+    return unique_rows, summed
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping."""
+
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        for p in self.params:
+            if not isinstance(p, Parameter):
+                raise TypeError(f"optimizer parameters must be Parameter, got {type(p)!r}")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum.
+
+    Momentum is only applied on the dense path; sparse parts fall back to
+    plain SGD per touched row (momentum on sparse rows is ill-defined without
+    decaying stale rows).
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.sparse_grad_parts:
+                rows, grads = _coalesce(p.sparse_grad_parts)
+                if self.weight_decay:
+                    grads = grads + self.weight_decay * p.data[rows]
+                p.data[rows] -= self.lr * grads
+            if p.grad is not None:
+                grad = p.grad
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * p.data
+                if self.momentum:
+                    vel = self._velocity.get(id(p))
+                    vel = self.momentum * vel + grad if vel is not None else grad.copy()
+                    self._velocity[id(p)] = vel
+                    grad = vel
+                p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with a lazy row-sparse path.
+
+    For sparse gradient parts only the first/second-moment rows that were
+    touched are updated (the behaviour of torch.optim.SparseAdam); bias
+    correction uses the global step count.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must be in [0, 1): {betas}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+
+    def _state(self, p: Parameter) -> tuple[np.ndarray, np.ndarray]:
+        key = id(p)
+        if key not in self._m:
+            self._m[key] = np.zeros_like(p.data)
+            self._v[key] = np.zeros_like(p.data)
+        m, v = self._m[key], self._v[key]
+        if m.shape != p.data.shape:  # dynamic hash table grew the parameter
+            grown_m = np.zeros_like(p.data)
+            grown_m[tuple(slice(0, s) for s in m.shape)] = m
+            grown_v = np.zeros_like(p.data)
+            grown_v[tuple(slice(0, s) for s in v.shape)] = v
+            self._m[key], self._v[key] = grown_m, grown_v
+            m, v = grown_m, grown_v
+        return m, v
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.beta1 ** self.t
+        bc2 = 1.0 - self.beta2 ** self.t
+        step_size = self.lr * np.sqrt(bc2) / bc1
+        for p in self.params:
+            if p.sparse_grad_parts:
+                rows, grads = _coalesce(p.sparse_grad_parts)
+                if self.weight_decay:
+                    grads = grads + self.weight_decay * p.data[rows]
+                m, v = self._state(p)
+                m_rows = self.beta1 * m[rows] + (1.0 - self.beta1) * grads
+                v_rows = self.beta2 * v[rows] + (1.0 - self.beta2) * grads ** 2
+                m[rows] = m_rows
+                v[rows] = v_rows
+                p.data[rows] -= step_size * m_rows / (np.sqrt(v_rows) + self.eps)
+            if p.grad is not None:
+                grad = p.grad
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * p.data
+                m, v = self._state(p)
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad ** 2
+                p.data -= step_size * m / (np.sqrt(v) + self.eps)

@@ -1,0 +1,110 @@
+"""Learning-rate schedules and gradient clipping.
+
+Schedules are callables ``step -> multiplier``; the trainer multiplies the
+optimizer's base learning rate by the current value each step.  Clipping
+operates on the global gradient norm, covering both dense gradients and
+row-sparse parts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["ConstantLR", "StepDecay", "CosineDecay", "WarmupWrapper",
+           "clip_grad_norm"]
+
+
+class ConstantLR:
+    """Multiplier fixed at 1 (the default behaviour)."""
+
+    def __call__(self, step: int) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "ConstantLR()"
+
+
+class StepDecay:
+    """Multiply by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive: {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1]: {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, step: int) -> float:
+        return self.gamma ** (step // self.step_size)
+
+    def __repr__(self) -> str:
+        return f"StepDecay(step_size={self.step_size}, gamma={self.gamma})"
+
+
+class CosineDecay:
+    """Cosine from 1 down to ``floor`` over ``total_steps`` steps."""
+
+    def __init__(self, total_steps: int, floor: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive: {total_steps}")
+        if not 0.0 <= floor < 1.0:
+            raise ValueError(f"floor must be in [0, 1): {floor}")
+        self.total_steps = total_steps
+        self.floor = floor
+
+    def __call__(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        return self.floor + (1.0 - self.floor) * 0.5 * (
+            1.0 + math.cos(math.pi * progress))
+
+    def __repr__(self) -> str:
+        return f"CosineDecay(total_steps={self.total_steps}, floor={self.floor})"
+
+
+class WarmupWrapper:
+    """Linear warm-up from 0 over ``warmup_steps``, then delegate."""
+
+    def __init__(self, schedule, warmup_steps: int) -> None:
+        if warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be non-negative: {warmup_steps}")
+        self.schedule = schedule
+        self.warmup_steps = warmup_steps
+
+    def __call__(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return (step + 1) / self.warmup_steps
+        return self.schedule(step)
+
+    def __repr__(self) -> str:
+        return f"WarmupWrapper({self.schedule!r}, warmup_steps={self.warmup_steps})"
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Covers dense gradients and row-sparse parts.  Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive: {max_norm}")
+    params = list(params)
+    total_sq = 0.0
+    for p in params:
+        if p.grad is not None:
+            total_sq += float((p.grad ** 2).sum())
+        for __, grad_rows in p.sparse_grad_parts:
+            total_sq += float((grad_rows ** 2).sum())
+    norm = math.sqrt(total_sq)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+            p.sparse_grad_parts = [(rows, grad_rows * scale)
+                                   for rows, grad_rows in p.sparse_grad_parts]
+    return norm

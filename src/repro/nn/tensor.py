@@ -1,0 +1,449 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the numerical substrate for every model in the library.  The
+original paper implements the FVAE on TensorFlow; no deep-learning framework
+is available in this environment, so we provide a compact but complete
+autograd engine:
+
+* :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations that
+  produced it in a dynamic computation graph.
+* :meth:`Tensor.backward` walks the graph in reverse topological order and
+  accumulates gradients.
+* :class:`Parameter` marks trainable leaves.  A parameter may be declared
+  *row-sparse* (``sparse=True``), in which case gather-style operations record
+  ``(rows, grad_rows)`` pairs instead of materialising a dense gradient.  This
+  is the mechanism behind the paper's dynamic-hash-table embeddings and
+  batched softmax: the cost of one optimizer step is proportional to the
+  number of *touched* rows rather than the full feature vocabulary.
+
+Only the operations needed by the models in this repository are implemented,
+but each supports full NumPy broadcasting and is exercised by finite-difference
+gradient checks in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor"]
+
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array plus the autograd bookkeeping to differentiate through it.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``np.ndarray`` (stored as float64 unless the
+        input already has a floating dtype).
+    requires_grad:
+        Whether gradients should flow to this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Build a non-leaf tensor, recording the graph only when needed."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    # -- basic introspection ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_tag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_tag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # -- gradient machinery ----------------------------------------------------
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        # Gradients are never mutated in place anywhere in the engine, so
+        # storing the incoming array directly is safe; accumulation allocates.
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs; non-scalar outputs require
+        an explicit seed gradient of matching shape.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() on a non-scalar tensor requires an explicit gradient")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free intermediate gradients and graph references eagerly:
+                # leaves (parameters / inputs) keep their grads.
+                node._backward = None
+                node._parents = ()
+                node.grad = None if node is not self else node.grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log instead")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+        if a.ndim > 2 or b.ndim > 2:
+            raise ValueError("matmul supports 1-D and 2-D operands only")
+        out_data = a @ b
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if a.ndim == 1 and b.ndim == 1:      # dot -> scalar
+                    ga = grad * b
+                elif a.ndim == 1:                     # vector @ matrix -> vector
+                    ga = grad @ b.T
+                elif b.ndim == 1:                     # matrix @ vector -> vector
+                    ga = np.outer(grad, b)
+                else:                                 # matrix @ matrix
+                    ga = grad @ b.T
+                self._accumulate(ga)
+            if other.requires_grad:
+                if a.ndim == 1 and b.ndim == 1:
+                    gb = grad * a
+                elif a.ndim == 1:
+                    gb = np.outer(a, grad)
+                elif b.ndim == 1:
+                    gb = a.T @ grad
+                else:
+                    gb = a.T @ grad
+                other._accumulate(gb)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # -- shape ops ---------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        in_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(in_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.T)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- reductions ----------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # -- elementwise nonlinearities -------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = np.empty_like(self.data)
+        pos = self.data >= 0
+        out_data[pos] = 1.0 / (1.0 + np.exp(-self.data[pos]))
+        ex = np.exp(self.data[~pos])
+        out_data[~pos] = ex / (1.0 + ex)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+class Parameter(Tensor):
+    """A trainable leaf tensor.
+
+    Parameters declared with ``sparse=True`` participate in row-gather
+    operations (:func:`repro.nn.functional.rows`, ``embedding_bag``,
+    ``sparse_logits``) by recording ``(rows, grad_rows)`` pairs in
+    :attr:`sparse_grad_parts` instead of a dense gradient.  Optimizers in
+    :mod:`repro.nn.optim` consume those parts with per-row updates, which is
+    what makes training cost independent of the vocabulary size.
+    """
+
+    __slots__ = ("sparse", "sparse_grad_parts")
+
+    def __init__(self, data, name: str | None = None, sparse: bool = False) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+        self.sparse = bool(sparse)
+        self.sparse_grad_parts: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def add_sparse_grad(self, rows: np.ndarray, grad_rows: np.ndarray) -> None:
+        """Record a row-sparse gradient contribution ``dL/dW[rows] += grad_rows``."""
+        self.sparse_grad_parts.append((np.asarray(rows), np.asarray(grad_rows)))
+
+    def zero_grad(self) -> None:
+        self.grad = None
+        self.sparse_grad_parts = []
+
+    def densify_grad(self) -> np.ndarray:
+        """Materialise the full gradient (dense part + sparse parts).
+
+        Used by gradient checks and by dense optimizers applied to sparse
+        parameters; training loops should prefer the sparse path.
+        """
+        full = np.zeros_like(self.data) if self.grad is None else self.grad.copy()
+        for rows, grad_rows in self.sparse_grad_parts:
+            np.add.at(full, rows, grad_rows)
+        return full
+
+    def __repr__(self) -> str:
+        tag = f" '{self.name}'" if self.name else ""
+        sparse = ", sparse" if self.sparse else ""
+        return f"Parameter{tag}(shape={self.shape}{sparse})"
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)

@@ -1,0 +1,6 @@
+"""Data-construction module (§IV-D): server logs → multi-field user profiles."""
+
+from repro.pipeline.logs import LogEvent, SyntheticLogStream
+from repro.pipeline.profile_builder import ProfileBuilder
+
+__all__ = ["LogEvent", "SyntheticLogStream", "ProfileBuilder"]

@@ -1,0 +1,7 @@
+"""Evaluation tasks from §V: data reconstruction and tag prediction."""
+
+from repro.tasks.reconstruction import ReconstructionResult, evaluate_reconstruction
+from repro.tasks.tag_prediction import TagPredictionResult, evaluate_tag_prediction
+
+__all__ = ["evaluate_reconstruction", "ReconstructionResult",
+           "evaluate_tag_prediction", "TagPredictionResult"]

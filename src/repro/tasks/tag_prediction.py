@@ -1,0 +1,59 @@
+"""Tag-prediction task (§V-B2, Tables III/IV).
+
+The matching-stage task: for held-out users, the channel fields (everything
+except the target field) are the *fold-in* input; the model must score the
+target field's features.  Observed tags are positives, an equal number of
+sampled unobserved tags are negatives, and AUC/mAP are averaged over users —
+exactly the protocol of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import UserRepresentationModel
+from repro.data.dataset import MultiFieldDataset
+from repro.metrics import sampled_negative_metrics
+
+__all__ = ["TagPredictionResult", "evaluate_tag_prediction"]
+
+
+@dataclass
+class TagPredictionResult:
+    """AUC/mAP of one model on the tag-prediction task."""
+
+    model_name: str
+    auc: float
+    map: float
+    n_users: int
+
+
+def evaluate_tag_prediction(model: UserRepresentationModel,
+                            eval_dataset: MultiFieldDataset,
+                            target_field: str = "tag",
+                            rng: int | None = 0,
+                            negatives_per_positive: int = 1,
+                            ) -> TagPredictionResult:
+    """Fold-in evaluation: blank ``target_field``, score it, rank held-out tags.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`UserRepresentationModel`.
+    eval_dataset:
+        Held-out users *including* their true target-field features (used as
+        ground truth; the model never sees them).
+    target_field:
+        The field to predict (``"tag"`` in the paper).
+    rng:
+        Seed for negative sampling, fixed so model comparisons share negatives.
+    """
+    if target_field not in eval_dataset.field_names:
+        raise KeyError(f"dataset has no field '{target_field}'")
+    fold_in = eval_dataset.blank_fields([target_field])
+    scores = model.score_field(fold_in, target_field)
+    metrics = sampled_negative_metrics(
+        scores, eval_dataset.field(target_field).binarize(), rng=rng,
+        negatives_per_positive=negatives_per_positive)
+    return TagPredictionResult(model_name=model.name, auc=metrics["auc"],
+                               map=metrics["map"], n_users=metrics["n_users"])

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG plumbing, timers, and logging."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.timer import Timer, timed
+
+__all__ = ["new_rng", "spawn_rngs", "Timer", "timed"]

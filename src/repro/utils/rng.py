@@ -1,0 +1,32 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  These helpers normalise the two and derive
+independent child generators, so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def new_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged, so callers can thread
+    a single stream through a pipeline without reseeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``seed``."""
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    root = new_rng(seed)
+    try:
+        return list(root.spawn(n))
+    except AttributeError:  # numpy < 1.25 has no Generator.spawn
+        return [np.random.default_rng(int(root.integers(0, 2**63 - 1))) for _ in range(n)]

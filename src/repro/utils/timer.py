@@ -1,0 +1,64 @@
+"""Wall-clock timing helpers used by the training loops and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    ``Timer`` measures wall-clock time across multiple start/stop cycles and
+    exposes the running total via :attr:`elapsed`.  It is used by the trainer
+    to attribute time to individual pipeline stages (sampling, forward,
+    backward, update).
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+        self.laps: int = 0
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer is not running")
+        lap = time.perf_counter() - self._start
+        self.elapsed += lap
+        self.laps += 1
+        self._start = None
+        return lap
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+        self.laps = 0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a callable that reports elapsed seconds.
+
+    >>> with timed() as t:
+    ...     _ = sum(range(10))
+    >>> t() >= 0.0
+    True
+    """
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

@@ -1,0 +1,7 @@
+"""Visualization utilities: t-SNE embedding and cluster-quality metrics."""
+
+from repro.viz.tsne import TSNE, silhouette_score, topic_separation_report
+from repro.viz.tables import format_table, format_series
+
+__all__ = ["TSNE", "silhouette_score", "topic_separation_report",
+           "format_table", "format_series"]

@@ -1,0 +1,68 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figures as text: tables as
+aligned columns, figures as (x, y) series.  No plotting dependency is
+available offline, so "figures" are rendered as data series plus a coarse
+ASCII sparkline for quick visual inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None, float_fmt: str = "{:.4f}") -> str:
+    """Render rows as an aligned monospaced table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _sparkline(values: Sequence[float]) -> str:
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo, hi = arr.min(), arr.max()
+    span = hi - lo
+    out = []
+    for v in values:
+        if not np.isfinite(v):
+            out.append("?")
+            continue
+        level = 0 if span == 0 else int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[level])
+    return "".join(out)
+
+
+def format_series(x: Sequence[object], series: Mapping[str, Sequence[float]],
+                  x_label: str = "x", title: str | None = None,
+                  float_fmt: str = "{:.4f}") -> str:
+    """Render one or more named y-series over a shared x-axis, with sparklines."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv] + [s[i] for s in series.values()])
+    table = format_table(headers, rows, title=title, float_fmt=float_fmt)
+    sparks = "\n".join(f"  {name:<20} {_sparkline(vals)}"
+                       for name, vals in series.items())
+    return f"{table}\n{sparks}"

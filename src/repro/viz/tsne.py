@@ -1,0 +1,163 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) and cluster-quality metrics.
+
+The paper's Fig 4 maps FVAE embeddings of 1000 users from 3 topics into 2-D
+with t-SNE and observes cleanly separated clusters.  This is a from-scratch
+exact (O(N²)) implementation — adequate for the ~1000-point case study — plus
+a silhouette score so "clear cluster boundaries" becomes a measurable claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["TSNE", "silhouette_score", "topic_separation_report"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sq = np.sum(x ** 2, axis=1)
+    d2 = sq[:, None] - 2.0 * (x @ x.T) + sq[None, :]
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _binary_search_perplexity(d2_row: np.ndarray, target_entropy: float,
+                              tol: float = 1e-5, max_iter: int = 50,
+                              ) -> np.ndarray:
+    """Find the Gaussian kernel precision matching the target perplexity."""
+    beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+    p = np.zeros_like(d2_row)
+    for __ in range(max_iter):
+        p = np.exp(-d2_row * beta)
+        total = p.sum()
+        if total <= 0:
+            h = 0.0
+            p = np.full_like(d2_row, 1.0 / d2_row.size)
+        else:
+            p /= total
+            h = -np.sum(p[p > 0] * np.log(p[p > 0]))
+        diff = h - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:       # entropy too high -> narrow the kernel
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2.0
+        else:
+            beta_max = beta
+            beta = beta / 2.0 if beta_min == -np.inf else (beta + beta_min) / 2.0
+    return p
+
+
+class TSNE:
+    """Exact t-SNE to ``n_components`` dimensions.
+
+    Parameters follow the reference implementation: perplexity-calibrated
+    input affinities, early exaggeration, momentum-switched gradient descent.
+    """
+
+    def __init__(self, n_components: int = 2, perplexity: float = 30.0,
+                 n_iter: int = 400, learning_rate: float = 200.0,
+                 early_exaggeration: float = 12.0, exaggeration_iter: int = 100,
+                 seed: int | np.random.Generator | None = 0) -> None:
+        if n_components <= 0:
+            raise ValueError(f"n_components must be positive: {n_components}")
+        if perplexity <= 1:
+            raise ValueError(f"perplexity must exceed 1: {perplexity}")
+        self.n_components = n_components
+        self.perplexity = perplexity
+        self.n_iter = n_iter
+        self.learning_rate = learning_rate
+        self.early_exaggeration = early_exaggeration
+        self.exaggeration_iter = exaggeration_iter
+        self.seed = seed
+
+    def _input_affinities(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        d2 = _pairwise_sq_dists(x)
+        target_entropy = np.log(min(self.perplexity, n - 1))
+        p = np.zeros((n, n))
+        mask = ~np.eye(n, dtype=bool)
+        for i in range(n):
+            row = _binary_search_perplexity(d2[i][mask[i]], target_entropy)
+            p[i][mask[i]] = row
+        p = (p + p.T) / (2.0 * n)
+        return np.maximum(p, 1e-12)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Embed ``x`` (``(N, D)``) into ``(N, n_components)``."""
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        if n < 3:
+            raise ValueError("t-SNE needs at least 3 points")
+        rng = new_rng(self.seed)
+        p = self._input_affinities(x) * self.early_exaggeration
+
+        # PCA init stabilises layouts across runs.
+        centered = x - x.mean(axis=0)
+        __, __, vt = np.linalg.svd(centered, full_matrices=False)
+        y = centered @ vt[: self.n_components].T
+        y = y / max(y.std(), 1e-12) * 1e-4
+        y += rng.normal(0.0, 1e-6, size=y.shape)
+
+        update = np.zeros_like(y)
+        gains = np.ones_like(y)
+        for it in range(self.n_iter):
+            d2 = _pairwise_sq_dists(y)
+            num = 1.0 / (1.0 + d2)
+            np.fill_diagonal(num, 0.0)
+            q = np.maximum(num / num.sum(), 1e-12)
+            pq = (p - q) * num
+            grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+            momentum = 0.5 if it < 250 else 0.8
+            same_sign = np.sign(grad) == np.sign(update)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2).clip(min=0.01)
+            update = momentum * update - self.learning_rate * gains * grad
+            y = y + update
+            y = y - y.mean(axis=0)
+            if it == self.exaggeration_iter:
+                p = p / self.early_exaggeration
+        return y
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over points (−1 … 1, higher = better split)."""
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if classes.size < 2:
+        raise ValueError("silhouette requires at least two clusters")
+    d = np.sqrt(_pairwise_sq_dists(x))
+    scores = np.zeros(x.shape[0])
+    for i in range(x.shape[0]):
+        same = labels == labels[i]
+        n_same = same.sum()
+        a = d[i][same].sum() / (n_same - 1) if n_same > 1 else 0.0
+        b = min(d[i][labels == c].mean() for c in classes if c != labels[i])
+        denom = max(a, b)
+        scores[i] = (b - a) / denom if denom > 0 else 0.0
+    return float(scores.mean())
+
+
+def topic_separation_report(embedding_2d: np.ndarray, labels: np.ndarray,
+                            ) -> dict[str, float]:
+    """Quantitative companion to Fig 4: silhouette + centroid distance ratio."""
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    centroids = np.stack([embedding_2d[labels == c].mean(axis=0) for c in classes])
+    intra = np.mean([
+        np.linalg.norm(embedding_2d[labels == c] - centroids[k], axis=1).mean()
+        for k, c in enumerate(classes)])
+    if classes.size > 1:
+        inter = np.mean([np.linalg.norm(centroids[i] - centroids[j])
+                         for i in range(classes.size)
+                         for j in range(i + 1, classes.size)])
+    else:
+        inter = 0.0
+    return {
+        "silhouette": silhouette_score(embedding_2d, labels),
+        "intra_cluster_spread": float(intra),
+        "inter_centroid_distance": float(inter),
+        "separation_ratio": float(inter / intra) if intra > 0 else float("inf"),
+    }

@@ -1,0 +1,185 @@
+"""Classic baselines: PCA, LDA, and the SGNS family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Item2Vec, Job2Vec, LDAModel, PCAModel, SkipGramNS
+from repro.metrics import mean_ranking_metrics
+
+
+class TestPCA:
+    def test_embed_shape(self, sc_split):
+        train, test = sc_split
+        model = PCAModel(latent_dim=16).fit(train)
+        z = model.embed_users(test)
+        assert z.shape == (test.n_users, 16)
+
+    def test_reconstruction_beats_random(self, sc_split):
+        train, test = sc_split
+        model = PCAModel(latent_dim=16).fit(train)
+        scores = model.score_field(test, "ch2")
+        out = mean_ranking_metrics(scores, test.field("ch2").binarize())
+        assert out["auc"] > 0.6
+
+    def test_requires_fit(self, sc_split):
+        __, test = sc_split
+        with pytest.raises(RuntimeError):
+            PCAModel().embed_users(test)
+
+    def test_latent_dim_validation(self):
+        with pytest.raises(ValueError):
+            PCAModel(latent_dim=0)
+
+    def test_fold_in_changes_embedding(self, sc_split):
+        train, test = sc_split
+        model = PCAModel(latent_dim=8).fit(train)
+        full = model.embed_users(test)
+        fold = model.embed_users(test.blank_fields(["tag"]))
+        assert not np.allclose(full, fold)
+
+    def test_deterministic(self, sc_split):
+        train, test = sc_split
+        a = PCAModel(latent_dim=8, seed=1).fit(train).embed_users(test)
+        b = PCAModel(latent_dim=8, seed=1).fit(train).embed_users(test)
+        np.testing.assert_allclose(a, b)
+
+
+class TestLDA:
+    @pytest.fixture(scope="class")
+    def lda(self, sc_split):
+        train, __ = sc_split
+        return LDAModel(n_topics=12, n_iterations=4, e_steps=10, seed=0).fit(train)
+
+    def test_topics_normalised(self, lda):
+        np.testing.assert_allclose(lda.topic_word_.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_embed_is_distribution(self, lda, sc_split):
+        __, test = sc_split
+        theta = lda.embed_users(test)
+        assert theta.shape == (test.n_users, 12)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0, atol=1e-8)
+        assert np.all(theta >= 0)
+
+    def test_scores_are_probabilities(self, lda, sc_split):
+        __, test = sc_split
+        scores = lda.score_field(test, "tag")
+        assert np.all(scores >= 0)
+        assert scores.shape[1] == test.schema["tag"].vocab_size
+
+    def test_reconstruction_beats_random(self, lda, sc_split):
+        __, test = sc_split
+        scores = lda.score_field(test, "ch2")
+        out = mean_ranking_metrics(scores, test.field("ch2").binarize())
+        assert out["auc"] > 0.6
+
+    def test_requires_fit(self, sc_split):
+        __, test = sc_split
+        with pytest.raises(RuntimeError):
+            LDAModel().embed_users(test)
+
+    def test_invalid_topics(self):
+        with pytest.raises(ValueError):
+            LDAModel(n_topics=0)
+
+
+class TestSkipGramNS:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SkipGramNS(0, 8)
+
+    def test_train_pairs_shapes(self):
+        sgns = SkipGramNS(20, 4, seed=0)
+        loss = sgns.train_pairs(np.array([0, 1]), np.array([2, 3]))
+        assert np.isfinite(loss)
+
+    def test_mismatched_pairs_rejected(self):
+        sgns = SkipGramNS(20, 4)
+        with pytest.raises(ValueError):
+            sgns.train_pairs(np.array([0]), np.array([1, 2]))
+
+    def test_empty_batch_is_noop(self):
+        sgns = SkipGramNS(20, 4)
+        before = sgns.w_in.copy()
+        assert sgns.train_pairs(np.empty(0, int), np.empty(0, int)) == 0.0
+        np.testing.assert_allclose(sgns.w_in, before)
+
+    def test_noise_distribution_validation(self):
+        sgns = SkipGramNS(10, 4)
+        with pytest.raises(ValueError):
+            sgns.set_noise_distribution(np.ones(5))
+
+    def test_noise_favours_frequent(self):
+        sgns = SkipGramNS(10, 4, seed=0)
+        freq = np.ones(10)
+        freq[0] = 1000
+        sgns.set_noise_distribution(freq)
+        negs = sgns.sample_negatives(2000).ravel()
+        counts = np.bincount(negs, minlength=10)
+        assert counts[0] > counts[1:].max()
+
+    def test_cooccurring_items_become_similar(self):
+        """Items that always co-occur should end closer than random ones."""
+        rng = np.random.default_rng(0)
+        sgns = SkipGramNS(40, 8, negatives=4, lr=0.1, seed=0)
+        sgns.set_noise_distribution(np.ones(40))
+        # two clusters: 0..19 co-occur, 20..39 co-occur
+        for __ in range(400):
+            cluster = rng.integers(0, 2)
+            base = cluster * 20
+            pair = base + rng.choice(20, size=2, replace=False)
+            sgns.train_pairs(pair[:1], pair[1:])
+        v = sgns.vectors()
+        v = v / np.maximum(np.linalg.norm(v, axis=1, keepdims=True), 1e-12)
+        within = np.mean([v[i] @ v[j] for i in range(0, 5) for j in range(5, 10)])
+        across = np.mean([v[i] @ v[j] for i in range(0, 5) for j in range(25, 30)])
+        assert within > across
+
+
+class TestItem2VecAndJob2Vec:
+    @pytest.fixture(scope="class")
+    def fitted(self, sc_split):
+        train, __ = sc_split
+        return Item2Vec(latent_dim=16, epochs=2, seed=0).fit(train)
+
+    def test_embed_shape(self, fitted, sc_split):
+        __, test = sc_split
+        z = fitted.embed_users(test)
+        assert z.shape == (test.n_users, 16)
+
+    def test_empty_profile_embeds_to_zero(self, fitted, sc_split):
+        __, test = sc_split
+        blank = test.blank_fields(test.field_names)
+        z = fitted.embed_users(blank)
+        np.testing.assert_allclose(z, 0.0)
+
+    def test_scores_are_cosines(self, fitted, sc_split):
+        __, test = sc_split
+        scores = fitted.score_field(test, "tag")
+        assert scores.min() >= -1.0 - 1e-9 and scores.max() <= 1.0 + 1e-9
+
+    def test_requires_fit(self, sc_split):
+        __, test = sc_split
+        with pytest.raises(RuntimeError):
+            Item2Vec().embed_users(test)
+
+    def test_job2vec_pairs_are_cross_field_only(self, sc_split):
+        train, __ = sc_split
+        model = Job2Vec(latent_dim=8, epochs=1, seed=0)
+        flat, offsets = model._profile_arrays(train)
+        rng = np.random.default_rng(0)
+        centers, contexts = model._sample_pairs(flat, offsets,
+                                                np.arange(50), rng)
+        assert centers.size > 0
+        field_of = model._field_of_flat
+        # recover field ids through the schema offsets
+        schema_offsets = sorted(train.schema.offsets().values())
+        def field_idx(ids):
+            return np.searchsorted(schema_offsets, ids, side="right") - 1
+        assert np.all(field_idx(centers) != field_idx(contexts))
+
+    def test_job2vec_trains(self, sc_split):
+        train, test = sc_split
+        model = Job2Vec(latent_dim=8, epochs=1, seed=0).fit(train)
+        assert model.embed_users(test).shape == (test.n_users, 8)

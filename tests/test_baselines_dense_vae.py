@@ -1,0 +1,168 @@
+"""Dense autoencoder baselines: Mult-DAE, Mult-VAE, RecVAE, and the codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DenseInputCodec, MultDAE, MultVAE, RecVAE
+from repro.hashing import FeatureHasher
+
+
+class TestDenseInputCodec:
+    def test_dim_without_hasher(self, tiny_schema):
+        codec = DenseInputCodec(tiny_schema)
+        assert codec.dim == tiny_schema.total_vocab
+
+    def test_dim_with_hasher(self, tiny_schema):
+        codec = DenseInputCodec(tiny_schema, FeatureHasher(n_buckets=32))
+        assert codec.dim == 32
+
+    def test_encode_batch_binary(self, tiny_schema, tiny_dataset):
+        codec = DenseInputCodec(tiny_schema)
+        x = codec.encode_batch(tiny_dataset.batch(np.arange(6)))
+        assert x.shape == (6, 78)
+        assert set(np.unique(x)) <= {0.0, 1.0}
+        # feature placement: ch2 id 0 of user 0 at offset 8
+        assert x[0, 8] == 1.0
+
+    def test_encode_matches_to_dense(self, tiny_schema, tiny_dataset):
+        codec = DenseInputCodec(tiny_schema)
+        x = codec.encode_batch(tiny_dataset.batch(np.arange(6)))
+        np.testing.assert_allclose(x, tiny_dataset.to_dense(binary=True))
+
+    def test_hashed_encoding_collides(self, tiny_schema, tiny_dataset):
+        codec = DenseInputCodec(tiny_schema, FeatureHasher(n_buckets=8))
+        x = codec.encode_batch(tiny_dataset.batch(np.arange(6)))
+        assert x.shape == (6, 8)
+
+    def test_field_columns_cached(self, tiny_schema):
+        codec = DenseInputCodec(tiny_schema, FeatureHasher(n_buckets=64))
+        a = codec.field_columns("tag")
+        b = codec.field_columns("tag")
+        assert a is b
+
+    def test_normalize_unit_rows(self):
+        x = np.array([[3.0, 4.0], [0.0, 0.0]])
+        out = DenseInputCodec.normalize(x)
+        np.testing.assert_allclose(np.linalg.norm(out[0]), 1.0)
+        np.testing.assert_allclose(out[1], 0.0)  # zero rows stay zero
+
+
+@pytest.fixture(scope="module")
+def small_train_test(sc_split):
+    return sc_split
+
+
+class TestMultDAE:
+    def test_loss_decreases(self, tiny_schema, tiny_dataset):
+        model = MultDAE(tiny_schema, latent_dim=4, hidden=[16], dropout=0.0,
+                        seed=0)
+        model.fit(tiny_dataset, epochs=25, batch_size=6, lr=5e-3)
+        history = model.history
+        assert history.epochs[-1].loss < history.epochs[0].loss
+
+    def test_embed_deterministic_in_eval(self, tiny_schema, tiny_dataset):
+        model = MultDAE(tiny_schema, latent_dim=4, hidden=[16], seed=0)
+        model.fit(tiny_dataset, epochs=1, batch_size=6)
+        a = model.embed_users(tiny_dataset)
+        b = model.embed_users(tiny_dataset)
+        np.testing.assert_allclose(a, b)
+
+    def test_score_field_shape(self, tiny_schema, tiny_dataset):
+        model = MultDAE(tiny_schema, latent_dim=4, hidden=[16], seed=0)
+        model.fit(tiny_dataset, epochs=1, batch_size=6)
+        scores = model.score_field(tiny_dataset, "tag")
+        assert scores.shape == (6, 50)
+
+
+class TestMultVAE:
+    def test_kl_grows_from_zero_with_annealing(self, tiny_schema, tiny_dataset):
+        model = MultVAE(tiny_schema, latent_dim=4, hidden=[16],
+                        anneal_steps=10, seed=0)
+        batch = tiny_dataset.batch(np.arange(6))
+        __, d0 = model.loss_on_batch(batch, step=0)
+        __, d10 = model.loss_on_batch(batch, step=10)
+        assert d0["beta"] == 0.0
+        assert d10["beta"] == pytest.approx(0.2)
+
+    def test_single_softmax_is_cross_field(self, tiny_schema, tiny_dataset):
+        """Mult-VAE's softmax couples fields: scores sum to 1 over ALL fields."""
+        model = MultVAE(tiny_schema, latent_dim=4, hidden=[16], seed=0)
+        model.fit(tiny_dataset, epochs=1, batch_size=6)
+        total = np.zeros(6)
+        from repro.nn.tensor import Tensor, no_grad
+        with no_grad():
+            x = model.codec.encode_batch(tiny_dataset.batch(np.arange(6)))
+            logits = model.decode_logits(Tensor(model._embed(x))).data
+        probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_hashed_variant_runs(self, tiny_schema, tiny_dataset):
+        model = MultVAE(tiny_schema, latent_dim=4, hidden=[16],
+                        hasher=FeatureHasher(n_buckets=32), seed=0)
+        model.fit(tiny_dataset, epochs=2, batch_size=6)
+        scores = model.score_field(tiny_dataset, "tag")
+        assert scores.shape == (6, 50)
+
+    def test_hashed_scores_share_colliding_buckets(self, tiny_schema, tiny_dataset):
+        hasher = FeatureHasher(n_buckets=4)  # force collisions
+        model = MultVAE(tiny_schema, latent_dim=4, hidden=[16], hasher=hasher,
+                        seed=0)
+        model.fit(tiny_dataset, epochs=1, batch_size=6)
+        scores = model.score_field(tiny_dataset, "tag")
+        cols = model.codec.field_columns("tag")
+        i, j = np.flatnonzero(cols == cols[0])[:2]
+        np.testing.assert_allclose(scores[:, i], scores[:, j])
+
+    def test_training_improves_tag_prediction(self, small_train_test):
+        from repro.tasks import evaluate_tag_prediction
+        train, test = small_train_test
+        model = MultVAE(train.schema, latent_dim=16, hidden=[64],
+                        anneal_steps=50, seed=0)
+        untrained_result = evaluate_tag_prediction(model, test, rng=0)
+        model.fit(train, epochs=4, batch_size=128, lr=2e-3)
+        trained_result = evaluate_tag_prediction(model, test, rng=0)
+        assert trained_result.auc > untrained_result.auc
+        assert trained_result.auc > 0.65
+
+
+class TestRecVAE:
+    def test_gamma_validation(self, tiny_schema):
+        with pytest.raises(ValueError):
+            RecVAE(tiny_schema, gamma=0.0)
+
+    def test_prior_refresh_snapshots(self, tiny_schema, tiny_dataset):
+        model = RecVAE(tiny_schema, latent_dim=4, hidden=[16],
+                       refresh_prior_every=2, seed=0)
+        batch = tiny_dataset.batch(np.arange(6))
+        model.loss_on_batch(batch, step=0)
+        assert model._old_state is not None
+
+    def test_old_posterior_round_trip_preserves_weights(self, tiny_schema,
+                                                        tiny_dataset):
+        model = RecVAE(tiny_schema, latent_dim=4, hidden=[16], seed=0)
+        batch = tiny_dataset.batch(np.arange(6))
+        model.loss_on_batch(batch, step=0)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        x = model.codec.encode_batch(batch)
+        model._old_posterior(x)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key])
+
+    def test_loss_differs_from_multvae(self, tiny_schema, tiny_dataset):
+        batch = tiny_dataset.batch(np.arange(6))
+        mv = MultVAE(tiny_schema, latent_dim=4, hidden=[16], seed=0)
+        rv = RecVAE(tiny_schema, latent_dim=4, hidden=[16], seed=0)
+        __, d1 = mv.loss_on_batch(batch, step=5)
+        __, d2 = rv.loss_on_batch(batch, step=5)
+        assert d1["loss"] != pytest.approx(d2["loss"])
+
+    def test_trains_and_scores(self, tiny_schema, tiny_dataset):
+        model = RecVAE(tiny_schema, latent_dim=4, hidden=[16],
+                       anneal_steps=5, seed=0)
+        model.fit(tiny_dataset, epochs=3, batch_size=6)
+        assert np.isfinite(model.history.final_loss)
+        assert model.score_field(tiny_dataset, "ch1").shape == (6, 8)

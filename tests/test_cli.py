@@ -1,0 +1,88 @@
+"""Command-line interface: every command end to end at tiny scale."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+
+class TestStats:
+    def test_prints_table1_row(self):
+        code, text = run_cli("stats", "--dataset", "sc", "--users", "200")
+        assert code == 0
+        assert "SC-like" in text
+        assert "tag" in text
+
+    @pytest.mark.parametrize("dataset", ["kd", "qb"])
+    def test_other_presets(self, dataset):
+        code, text = run_cli("stats", "--dataset", dataset, "--users", "150")
+        assert code == 0
+        assert "fields=4" in text
+
+
+class TestTrainEvaluateEmbed:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.npz"
+        code, text = run_cli(
+            "train", "--dataset", "sc", "--users", "300", "--epochs", "2",
+            "--latent-dim", "8", "--batch-size", "128",
+            "--output", str(path))
+        assert code == 0
+        assert "model saved" in text
+        return path
+
+    def test_evaluate_tags(self, model_path):
+        code, text = run_cli("evaluate", "--dataset", "sc", "--users", "300",
+                             "--model", str(model_path))
+        assert code == 0
+        assert "AUC=" in text
+
+    def test_evaluate_reconstruction(self, model_path):
+        code, text = run_cli("evaluate", "--dataset", "sc", "--users", "300",
+                             "--model", str(model_path),
+                             "--task", "reconstruction")
+        assert code == 0
+        assert "reconstruction overall" in text
+
+    def test_embed(self, model_path, tmp_path):
+        out_path = tmp_path / "emb.npz"
+        code, text = run_cli("embed", "--dataset", "sc", "--users", "300",
+                             "--model", str(model_path),
+                             "--output", str(out_path))
+        assert code == 0
+        with np.load(out_path) as payload:
+            assert payload["embeddings"].shape == (300, 8)
+            assert payload["topics"].shape == (300,)
+
+
+class TestBenchmark:
+    def test_benchmark_prints_speedup(self):
+        code, text = run_cli("benchmark", "--dataset", "sc",
+                             "--users", "300", "--epochs", "1")
+        assert code == 0
+        assert "Speedup" in text

@@ -1,0 +1,170 @@
+"""Field-aware encoder: hashed embedding bags, growth, fold-in behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import FieldAwareEncoder, HashedEmbeddingBag, _prepare_weights
+from repro.data.dataset import FieldBatch
+
+
+def make_field_batch(rows, vocab=50, weights=None):
+    indices = np.concatenate([np.asarray(r, dtype=np.int64) for r in rows]) \
+        if any(len(r) for r in rows) else np.empty(0, dtype=np.int64)
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum([len(r) for r in rows], out=offsets[1:])
+    w = None
+    if weights is not None:
+        w = np.concatenate([np.asarray(x, dtype=np.float64) for x in weights]) \
+            if any(len(x) for x in weights) else np.empty(0)
+    return FieldBatch(indices=indices, offsets=offsets, weights=w, vocab_size=vocab)
+
+
+class TestHashedEmbeddingBag:
+    def test_forward_shape(self):
+        bag = HashedEmbeddingBag(dim=4, capacity=8, rng=0)
+        out = bag(make_field_batch([[1, 2], [3]]))
+        assert out.shape == (2, 4)
+        assert bag.n_features == 3
+
+    def test_sum_semantics(self):
+        bag = HashedEmbeddingBag(dim=4, capacity=8, rng=0)
+        out = bag(make_field_batch([[10, 20]]))
+        rows = bag.table.rows_for([10, 20])
+        expected = bag.weight.data[rows].sum(axis=0)
+        np.testing.assert_allclose(out.data[0], expected)
+
+    def test_capacity_doubles_on_growth(self):
+        bag = HashedEmbeddingBag(dim=2, capacity=4, rng=0)
+        bag(make_field_batch([[i] for i in range(10)]))
+        assert bag.capacity >= 10
+        assert bag.n_features == 10
+
+    def test_growth_preserves_existing_rows(self):
+        bag = HashedEmbeddingBag(dim=2, capacity=2, rng=0)
+        bag(make_field_batch([[0, 1]]))
+        before = bag.weight.data[bag.table.rows_for([0, 1])].copy()
+        bag(make_field_batch([[i] for i in range(2, 20)]))
+        after = bag.weight.data[bag.table.rows_for([0, 1])]
+        np.testing.assert_allclose(before, after)
+
+    def test_eval_mode_drops_unknown_features(self):
+        bag = HashedEmbeddingBag(dim=3, capacity=8, rng=0)
+        bag(make_field_batch([[1, 2]]))
+        bag.eval()
+        out_known = bag(make_field_batch([[1]]))
+        out_mixed = bag(make_field_batch([[1, 999]]))  # 999 unseen
+        np.testing.assert_allclose(out_known.data, out_mixed.data)
+        assert bag.n_features == 2  # did not grow in eval
+
+    def test_eval_all_unknown_gives_zeros(self):
+        bag = HashedEmbeddingBag(dim=3, capacity=8, rng=0)
+        bag(make_field_batch([[1]]))
+        bag.eval()
+        out = bag(make_field_batch([[5, 6], [7]]))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_empty_bags(self):
+        bag = HashedEmbeddingBag(dim=3, capacity=8, rng=0)
+        out = bag(make_field_batch([[], [1], []]))
+        np.testing.assert_allclose(out.data[0], 0.0)
+        np.testing.assert_allclose(out.data[2], 0.0)
+
+    def test_weighted_aggregation(self):
+        bag = HashedEmbeddingBag(dim=2, capacity=8, rng=0)
+        fb = make_field_batch([[5]])
+        out1 = bag(fb, per_index_weights=np.array([1.0]))
+        out2 = bag(fb, per_index_weights=np.array([2.0]))
+        np.testing.assert_allclose(out2.data, 2.0 * out1.data)
+
+    def test_gradients_row_sparse(self):
+        bag = HashedEmbeddingBag(dim=2, capacity=8, rng=0)
+        out = bag(make_field_batch([[1, 2]]))
+        out.sum().backward()
+        assert bag.weight.sparse_grad_parts
+        assert bag.weight.grad is None
+
+    def test_feature_rows_alignment(self):
+        bag = HashedEmbeddingBag(dim=2, capacity=8, rng=0)
+        bag(make_field_batch([[4, 9, 2]]))
+        ids, rows = bag.feature_rows()
+        np.testing.assert_array_equal(rows, bag.table.rows_for(ids.tolist()))
+
+
+class TestPrepareWeights:
+    def test_binary_mode_is_none(self):
+        fb = make_field_batch([[1, 2]], weights=[[5.0, 5.0]])
+        assert _prepare_weights(fb, "binary") is None
+
+    def test_log1p_mode(self):
+        fb = make_field_batch([[1]], weights=[[np.e - 1.0]])
+        out = _prepare_weights(fb, "log1p")
+        np.testing.assert_allclose(out, [1.0])
+
+    def test_l2_mode_unit_norm_per_user(self):
+        fb = make_field_batch([[1, 2], [3]], weights=[[2.0, 3.0], [7.0]])
+        out = _prepare_weights(fb, "l2")
+        np.testing.assert_allclose(np.sqrt((out[:2] ** 2).sum()), 1.0)
+        np.testing.assert_allclose(out[2], 1.0)
+
+    def test_l2_handles_missing_weights(self):
+        fb = make_field_batch([[1, 2, 3]])
+        out = _prepare_weights(fb, "l2")
+        np.testing.assert_allclose(np.sqrt((out ** 2).sum()), 1.0)
+
+
+class TestFieldAwareEncoder:
+    def make_encoder(self, tiny_schema, **kw):
+        defaults = dict(hidden=[16], latent_dim=4, rng=0)
+        defaults.update(kw)
+        return FieldAwareEncoder(tiny_schema, **defaults)
+
+    def test_posterior_shapes(self, tiny_schema, tiny_dataset):
+        enc = self.make_encoder(tiny_schema)
+        mu, logvar = enc(tiny_dataset.batch(np.arange(4)))
+        assert mu.shape == (4, 4) and logvar.shape == (4, 4)
+
+    def test_blanked_field_changes_output(self, tiny_schema, tiny_dataset):
+        enc = self.make_encoder(tiny_schema)
+        enc(tiny_dataset.batch(np.arange(6)))  # populate tables in train mode
+        enc.eval()
+        full = enc(tiny_dataset.batch(np.array([0])))[0].data
+        blank = enc(tiny_dataset.blank_fields(["tag"]).batch(np.array([0])))[0].data
+        assert not np.allclose(full, blank)
+
+    def test_all_fields_empty_still_encodes(self, tiny_schema, tiny_dataset):
+        enc = self.make_encoder(tiny_schema)
+        enc.eval()
+        blank = tiny_dataset.blank_fields(["ch1", "ch2", "tag"])
+        mu, logvar = enc(blank.batch(np.arange(2)))
+        assert np.isfinite(mu.data).all()
+        np.testing.assert_allclose(mu.data[0], mu.data[1])  # identical inputs
+
+    def test_deterministic_in_eval(self, tiny_schema, tiny_dataset):
+        enc = self.make_encoder(tiny_schema, dropout=0.5)
+        enc.eval()
+        batch = tiny_dataset.batch(np.arange(3))
+        a = enc(batch)[0].data
+        b = enc(batch)[0].data
+        np.testing.assert_allclose(a, b)
+
+    def test_dropout_varies_in_training(self, tiny_schema, tiny_dataset):
+        enc = self.make_encoder(tiny_schema, dropout=0.5)
+        batch = tiny_dataset.batch(np.arange(3))
+        a = enc(batch)[0].data
+        b = enc(batch)[0].data
+        assert not np.allclose(a, b)
+
+    def test_requires_hidden_layer(self, tiny_schema):
+        with pytest.raises(ValueError):
+            FieldAwareEncoder(tiny_schema, hidden=[], latent_dim=4)
+
+    def test_unknown_activation(self, tiny_schema):
+        with pytest.raises(ValueError):
+            self.make_encoder(tiny_schema, activation="gelu")
+
+    def test_multi_layer_encoder(self, tiny_schema, tiny_dataset):
+        enc = self.make_encoder(tiny_schema, hidden=[16, 8])
+        mu, __ = enc(tiny_dataset.batch(np.arange(2)))
+        assert mu.shape == (2, 4)

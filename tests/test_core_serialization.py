@@ -1,0 +1,116 @@
+"""FVAE save/load round trips, including dynamic hash-table state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FVAE, FVAEConfig, load_fvae, save_fvae
+
+
+@pytest.fixture()
+def small_model(tiny_schema, tiny_dataset):
+    config = FVAEConfig(latent_dim=6, encoder_hidden=[16], decoder_hidden=[16],
+                        embedding_capacity=16, feature_dropout=0.0, seed=0)
+    model = FVAE(tiny_schema, config)
+    model.fit(tiny_dataset, epochs=3, batch_size=3, lr=2e-3)
+    return model
+
+
+class TestSaveLoad:
+    def test_embeddings_identical_after_round_trip(self, small_model,
+                                                   tiny_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        restored = load_fvae(path)
+        np.testing.assert_allclose(restored.embed_users(tiny_dataset),
+                                   small_model.embed_users(tiny_dataset))
+
+    def test_scores_identical_after_round_trip(self, small_model,
+                                               tiny_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        restored = load_fvae(path)
+        np.testing.assert_allclose(restored.score_field(tiny_dataset, "tag"),
+                                   small_model.score_field(tiny_dataset, "tag"))
+
+    def test_tables_restored(self, small_model, tiny_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        restored = load_fvae(path)
+        for field in ("ch1", "ch2", "tag"):
+            original = small_model.encoder.bag(field).table
+            loaded = restored.encoder.bag(field).table
+            assert loaded.size == original.size
+            for key, row in original.items():
+                assert loaded.rows_for([key])[0] == row
+
+    def test_loaded_tables_frozen_by_default(self, small_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        restored = load_fvae(path)
+        assert restored.encoder.bag("tag").table.frozen
+
+    def test_unfrozen_load_allows_growth(self, small_model, tiny_dataset,
+                                         tmp_path):
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        restored = load_fvae(path, freeze_tables=False)
+        before = restored.encoder.bag("tag").n_features
+        restored.fit(tiny_dataset, epochs=1, batch_size=3,
+                     warm_start_bias=False)
+        assert restored.encoder.bag("tag").n_features >= before
+
+    def test_config_and_step_restored(self, small_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        restored = load_fvae(path)
+        assert restored.config == small_model.config
+        assert restored._step == small_model._step
+
+    def test_bad_format_rejected(self, small_model, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = tmp_path / "model.npz"
+        np.savez(path, meta=np.asarray(json.dumps({"format_version": 999})))
+        with pytest.raises(ValueError, match="unsupported model format"):
+            load_fvae(path)
+
+
+class TestWarmStartBias:
+    def test_bias_matches_log_popularity(self, tiny_schema, tiny_dataset):
+        model = FVAE(tiny_schema, FVAEConfig(latent_dim=4, encoder_hidden=[8],
+                                             decoder_hidden=[8],
+                                             embedding_capacity=16, seed=0))
+        model.initialize_from_dataset(tiny_dataset)
+        counts = tiny_dataset.feature_popularity("tag")
+        observed = np.flatnonzero(counts)
+        bag = model.encoder.bag("tag")
+        rows = bag.table.rows_for(observed.tolist())
+        bias = model.decoder.head("tag").bias.data[rows]
+        expected = np.log(counts[observed] / counts.sum())
+        np.testing.assert_allclose(bias, expected)
+
+    def test_warm_start_scores_follow_popularity(self, tiny_schema,
+                                                 tiny_dataset):
+        model = FVAE(tiny_schema, FVAEConfig(latent_dim=4, encoder_hidden=[8],
+                                             decoder_hidden=[8],
+                                             embedding_capacity=16, seed=0))
+        model.initialize_from_dataset(tiny_dataset)
+        scores = model.score_field(tiny_dataset, "tag")
+        counts = tiny_dataset.feature_popularity("tag")
+        hot = int(np.argmax(counts))
+        cold_candidates = np.flatnonzero(counts == 1)
+        assert scores[:, hot].mean() > scores[:, cold_candidates].mean()
+
+    def test_fit_without_warm_start(self, tiny_schema, tiny_dataset):
+        model = FVAE(tiny_schema, FVAEConfig(latent_dim=4, encoder_hidden=[8],
+                                             decoder_hidden=[8],
+                                             embedding_capacity=16, seed=0))
+        model.fit(tiny_dataset, epochs=1, batch_size=3, warm_start_bias=False)
+        # biases untouched by initialisation (may have moved by training, but
+        # unseen rows stay exactly zero)
+        head = model.decoder.head("tag")
+        assert head.bias.data[head.capacity - 1] == 0.0

@@ -1,0 +1,123 @@
+"""Trainer and annealing schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FVAE, ConstantBeta, FVAEConfig, LinearAnnealing, Trainer
+
+
+def make_model(tiny_schema):
+    return FVAE(tiny_schema, FVAEConfig(latent_dim=4, encoder_hidden=[8],
+                                        decoder_hidden=[8], anneal_steps=5,
+                                        embedding_capacity=16, seed=0))
+
+
+class TestAnnealing:
+    def test_linear_ramp(self):
+        sched = LinearAnnealing(peak=0.4, anneal_steps=100)
+        assert sched(0) == 0.0
+        np.testing.assert_allclose(sched(50), 0.2)
+        assert sched(100) == 0.4
+        assert sched(10_000) == 0.4  # capped at peak
+
+    def test_zero_steps_is_constant(self):
+        sched = LinearAnnealing(peak=0.3, anneal_steps=0)
+        assert sched(0) == 0.3
+
+    def test_constant(self):
+        sched = ConstantBeta(0.7)
+        assert sched(0) == sched(999) == 0.7
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            LinearAnnealing(-0.1, 10)
+        with pytest.raises(ValueError):
+            LinearAnnealing(0.1, -1)
+        with pytest.raises(ValueError):
+            ConstantBeta(-1.0)
+
+    def test_reprs(self):
+        assert "0.4" in repr(LinearAnnealing(0.4, 10))
+        assert "0.7" in repr(ConstantBeta(0.7))
+
+
+class TestTrainer:
+    def test_history_length(self, tiny_schema, tiny_dataset):
+        trainer = Trainer(make_model(tiny_schema), lr=1e-3)
+        history = trainer.fit(tiny_dataset, epochs=3, batch_size=3)
+        assert len(history.epochs) == 3
+        assert history.epochs[2].cumulative_time >= history.epochs[0].cumulative_time
+
+    def test_invalid_epochs(self, tiny_schema, tiny_dataset):
+        trainer = Trainer(make_model(tiny_schema))
+        with pytest.raises(ValueError):
+            trainer.fit(tiny_dataset, epochs=0)
+
+    def test_unknown_optimizer(self, tiny_schema):
+        with pytest.raises(ValueError):
+            Trainer(make_model(tiny_schema), optimizer="rmsprop")
+
+    def test_sgd_optimizer_works(self, tiny_schema, tiny_dataset):
+        trainer = Trainer(make_model(tiny_schema), lr=1e-2, optimizer="sgd")
+        history = trainer.fit(tiny_dataset, epochs=2, batch_size=3)
+        assert np.isfinite(history.final_loss)
+
+    def test_eval_fn_called_with_eval_mode(self, tiny_schema, tiny_dataset):
+        model = make_model(tiny_schema)
+        modes = []
+
+        def eval_fn():
+            modes.append(model.training)
+            return {"metric": 1.0}
+
+        Trainer(model, lr=1e-3).fit(tiny_dataset, epochs=2, batch_size=3,
+                                    eval_fn=eval_fn)
+        assert modes == [False, False]
+
+    def test_eval_every(self, tiny_schema, tiny_dataset):
+        calls = []
+        Trainer(make_model(tiny_schema)).fit(
+            tiny_dataset, epochs=4, batch_size=3,
+            eval_fn=lambda: calls.append(1) or {"m": 0.0}, eval_every=2)
+        assert len(calls) == 2
+
+    def test_early_stopping(self, tiny_schema, tiny_dataset):
+        scores = iter([0.5, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6])
+        history = Trainer(make_model(tiny_schema)).fit(
+            tiny_dataset, epochs=8, batch_size=3,
+            eval_fn=lambda: {"auc": next(scores)},
+            early_stopping_metric="auc", patience=2)
+        assert len(history.epochs) == 4  # improve at 2, then 2 flat epochs
+
+    def test_early_stopping_missing_metric(self, tiny_schema, tiny_dataset):
+        with pytest.raises(KeyError):
+            Trainer(make_model(tiny_schema)).fit(
+                tiny_dataset, epochs=2, batch_size=3,
+                eval_fn=lambda: {"other": 1.0},
+                early_stopping_metric="auc")
+
+    def test_max_seconds_stops_early(self, tiny_schema, tiny_dataset):
+        history = Trainer(make_model(tiny_schema)).fit(
+            tiny_dataset, epochs=10_000, batch_size=3, max_seconds=0.3)
+        assert history.total_time < 5.0
+        assert len(history.epochs) < 10_000
+
+    def test_model_left_in_eval_mode(self, tiny_schema, tiny_dataset):
+        model = make_model(tiny_schema)
+        Trainer(model).fit(tiny_dataset, epochs=1, batch_size=3)
+        assert not model.training
+
+    def test_history_series(self, tiny_schema, tiny_dataset):
+        history = Trainer(make_model(tiny_schema)).fit(tiny_dataset, epochs=3,
+                                                       batch_size=3)
+        assert len(history.series("loss")) == 3
+        assert history.series("epoch") == [0, 1, 2]
+
+    def test_empty_history_aggregates(self):
+        from repro.core.trainer import TrainHistory
+        history = TrainHistory()
+        assert history.total_time == 0.0
+        assert np.isnan(history.final_loss)
+        assert np.isnan(history.throughput)

@@ -1,0 +1,83 @@
+"""Field schema validation and addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import FieldSchema, FieldSpec
+
+
+class TestFieldSpec:
+    def test_valid(self):
+        spec = FieldSpec("tag", 100, sample=True, alpha=0.5)
+        assert spec.name == "tag" and spec.vocab_size == 100
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpec("", 10)
+
+    def test_nonpositive_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpec("x", 0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpec("x", 10, alpha=-1.0)
+
+    def test_frozen(self):
+        spec = FieldSpec("x", 10)
+        with pytest.raises(AttributeError):
+            spec.vocab_size = 20
+
+
+class TestFieldSchema:
+    def make(self) -> FieldSchema:
+        return FieldSchema([FieldSpec("ch1", 10), FieldSpec("ch2", 20),
+                            FieldSpec("tag", 30, sample=True)])
+
+    def test_names_in_order(self):
+        assert self.make().names == ["ch1", "ch2", "tag"]
+
+    def test_total_vocab(self):
+        assert self.make().total_vocab == 60
+
+    def test_lookup_by_name_and_index(self):
+        schema = self.make()
+        assert schema["ch2"].vocab_size == 20
+        assert schema[0].name == "ch1"
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError, match="unknown field"):
+            self.make()["nope"]
+
+    def test_contains(self):
+        schema = self.make()
+        assert "tag" in schema and "nope" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSchema([FieldSpec("a", 1), FieldSpec("a", 2)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSchema([])
+
+    def test_subset_preserves_order_of_argument(self):
+        sub = self.make().subset(["tag", "ch1"])
+        assert sub.names == ["tag", "ch1"]
+
+    def test_offsets(self):
+        offsets = self.make().offsets()
+        assert offsets == {"ch1": 0, "ch2": 10, "tag": 30}
+
+    def test_alphas_default(self):
+        assert self.make().alphas() == {"ch1": 1.0, "ch2": 1.0, "tag": 1.0}
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        assert self.make() != FieldSchema([FieldSpec("ch1", 10)])
+
+    def test_len_and_iter(self):
+        schema = self.make()
+        assert len(schema) == 3
+        assert [s.name for s in schema] == schema.names

@@ -1,0 +1,151 @@
+"""CSRMatrix: construction, slicing, conversions, property-based round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CSRMatrix
+
+
+def small_csr() -> CSRMatrix:
+    return CSRMatrix.from_rows([[0, 2], [1], [], [3, 0, 1]], n_cols=4,
+                               weights=[[1.0, 2.0], [3.0], [], [1.0, 1.0, 4.0]])
+
+
+class TestConstruction:
+    def test_from_rows_shapes(self):
+        csr = small_csr()
+        assert csr.shape == (4, 4)
+        assert csr.nnz == 6
+
+    def test_row_access(self):
+        csr = small_csr()
+        ids, weights = csr.row(0)
+        np.testing.assert_array_equal(ids, [0, 2])
+        np.testing.assert_allclose(weights, [1.0, 2.0])
+
+    def test_empty_row(self):
+        ids, weights = small_csr().row(2)
+        assert ids.size == 0 and weights.size == 0
+
+    def test_implicit_weights_are_ones(self):
+        csr = CSRMatrix.from_rows([[1, 2]], n_cols=3)
+        __, weights = csr.row(0)
+        np.testing.assert_allclose(weights, 1.0)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_rows([[0, 1]], n_cols=2, weights=[[1.0]])
+
+    def test_empty_constructor(self):
+        csr = CSRMatrix.empty(3, 5)
+        assert csr.shape == (3, 5)
+        assert csr.nnz == 0
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 1]), np.array([5]), None, n_cols=3)
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 2]), np.array([0]), None, n_cols=3)
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([1, 1]), np.empty(0, dtype=int), None, n_cols=3)
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 2, 1, 3]), np.array([0, 1, 2]), None, n_cols=3)
+
+    def test_row_nnz(self):
+        np.testing.assert_array_equal(small_csr().row_nnz(), [2, 1, 0, 3])
+
+
+class TestTransforms:
+    def test_take_rows_reorders(self):
+        csr = small_csr()
+        sub = csr.take_rows(np.array([3, 0]))
+        np.testing.assert_allclose(sub.to_dense(), csr.to_dense()[[3, 0]])
+
+    def test_take_rows_with_duplicates(self):
+        csr = small_csr()
+        sub = csr.take_rows(np.array([1, 1, 1]))
+        assert sub.n_rows == 3
+        np.testing.assert_allclose(sub.to_dense(), csr.to_dense()[[1, 1, 1]])
+
+    def test_take_rows_including_empty(self):
+        csr = small_csr()
+        sub = csr.take_rows(np.array([2, 2]))
+        assert sub.nnz == 0
+
+    def test_take_rows_empty_selection(self):
+        sub = small_csr().take_rows(np.empty(0, dtype=np.int64))
+        assert sub.n_rows == 0
+
+    def test_binarize_drops_weights(self):
+        binary = small_csr().binarize()
+        assert binary.weights is None
+        np.testing.assert_allclose(binary.to_dense(),
+                                   (small_csr().to_dense() > 0).astype(float))
+
+    def test_to_dense_weighted(self):
+        dense = small_csr().to_dense()
+        assert dense[0, 2] == 2.0
+        assert dense[3, 1] == 4.0
+
+    def test_to_dense_binary_flag(self):
+        dense = small_csr().to_dense(binary=True)
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+
+    def test_to_scipy_round_trip(self):
+        csr = small_csr()
+        mat = csr.to_scipy()
+        np.testing.assert_allclose(mat.toarray(), csr.to_dense())
+
+    def test_column_counts(self):
+        counts = small_csr().column_counts()
+        np.testing.assert_array_equal(counts, [2, 2, 1, 1])
+
+
+@st.composite
+def csr_inputs(draw):
+    n_cols = draw(st.integers(min_value=1, max_value=12))
+    n_rows = draw(st.integers(min_value=0, max_value=10))
+    rows = [draw(st.lists(st.integers(min_value=0, max_value=n_cols - 1),
+                          max_size=8)) for __ in range(n_rows)]
+    return rows, n_cols
+
+
+class TestProperties:
+    @given(csr_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_round_trip(self, data):
+        rows, n_cols = data
+        csr = CSRMatrix.from_rows(rows, n_cols)
+        dense = csr.to_dense()
+        expected = np.zeros((len(rows), n_cols))
+        for i, row in enumerate(rows):
+            for j in row:
+                expected[i, j] += 1
+        np.testing.assert_allclose(dense, expected)
+
+    @given(csr_inputs(), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_take_rows_equals_dense_fancy_index(self, data, seed):
+        rows, n_cols = data
+        csr = CSRMatrix.from_rows(rows, n_cols)
+        if csr.n_rows == 0:
+            return
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, csr.n_rows, size=rng.integers(0, 6))
+        np.testing.assert_allclose(csr.take_rows(idx).to_dense(),
+                                   csr.to_dense()[idx])
+
+    @given(csr_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_nnz_consistency(self, data):
+        rows, n_cols = data
+        csr = CSRMatrix.from_rows(rows, n_cols)
+        assert csr.nnz == sum(len(r) for r in rows)
+        assert csr.row_nnz().sum() == csr.nnz
+        assert csr.column_counts().sum() == csr.nnz

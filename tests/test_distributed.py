@@ -1,0 +1,92 @@
+"""Distributed-training simulator: sharding, cost model, speedup shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FVAE, FVAEConfig
+from repro.distributed import (CommunicationModel, DistributedTrainingSimulator,
+                               WorkerMeasurement)
+
+
+def factory_for(schema):
+    def factory():
+        return FVAE(schema, FVAEConfig(latent_dim=8, encoder_hidden=[32],
+                                       decoder_hidden=[32],
+                                       embedding_capacity=64, seed=0))
+    return factory
+
+
+class TestCommunicationModel:
+    def test_single_worker_is_free(self):
+        assert CommunicationModel().sync_cost(1, 1e9) == 0.0
+
+    def test_cost_grows_with_workers(self):
+        comm = CommunicationModel()
+        assert comm.sync_cost(4, 1e6) > comm.sync_cost(2, 1e6)
+
+    def test_cost_grows_with_bytes(self):
+        comm = CommunicationModel()
+        assert comm.sync_cost(4, 1e8) > comm.sync_cost(4, 1e4)
+
+    def test_latency_floor(self):
+        comm = CommunicationModel(latency_seconds=1.0,
+                                  bandwidth_bytes_per_second=1e12)
+        np.testing.assert_allclose(comm.sync_cost(3, 0.0), 2.0)
+
+
+class TestWorkerMeasurement:
+    def test_wall_clock(self):
+        m = WorkerMeasurement(n_workers=2, compute_seconds=[1.0, 1.5],
+                              steps=10, sync_seconds=0.5)
+        assert m.wall_clock == 2.0
+
+
+class TestSimulator:
+    def test_invalid_workers(self, sc_split):
+        train, __ = sc_split
+        sim = DistributedTrainingSimulator(factory_for(train.schema), train)
+        with pytest.raises(ValueError):
+            sim.measure(0)
+
+    def test_measure_reports_all_workers(self, sc_split):
+        train, __ = sc_split
+        sim = DistributedTrainingSimulator(factory_for(train.schema), train)
+        m = sim.measure(3, epochs=1, batch_size=128)
+        assert m.n_workers == 3
+        assert len(m.compute_seconds) == 3
+        assert m.sync_seconds > 0
+
+    def test_gradient_bytes_estimated_from_dense_params(self, sc_split):
+        train, __ = sc_split
+        model = factory_for(train.schema)()
+        sim = DistributedTrainingSimulator(factory_for(train.schema), train)
+        estimate = sim._dense_gradient_bytes(model)
+        dense = sum(p.size for p in model.parameters()
+                    if not getattr(p, "sparse", False))
+        assert estimate == dense * 8
+
+    def test_more_workers_less_wall_clock(self, sc_split):
+        train, __ = sc_split
+        sim = DistributedTrainingSimulator(factory_for(train.schema), train)
+        t1 = sim.measure(1, epochs=1, batch_size=128).wall_clock
+        t4 = sim.measure(4, epochs=1, batch_size=128).wall_clock
+        assert t4 < t1
+
+    def test_speedup_curve_monotone(self, sc_split):
+        train, __ = sc_split
+        sim = DistributedTrainingSimulator(factory_for(train.schema), train)
+        curve = sim.speedup_curve([2, 4], epochs=1, batch_size=128)
+        assert curve[2] > 1.0
+        assert curve[4] > curve[2]
+
+    def test_extreme_comm_cost_kills_speedup(self, sc_split):
+        """With a terrible network, adding workers must not help."""
+        train, __ = sc_split
+        comm = CommunicationModel(latency_seconds=10.0,
+                                  bandwidth_bytes_per_second=1.0)
+        sim = DistributedTrainingSimulator(factory_for(train.schema), train,
+                                           comm=comm)
+        curve = sim.speedup_curve([4], epochs=1, batch_size=128)
+        assert curve[4] < 1.0

@@ -1,0 +1,50 @@
+"""Parameter-server cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import ParameterServerCost
+
+
+class TestParameterServerCost:
+    def test_single_worker_free(self):
+        assert ParameterServerCost().sync_cost(1, 0.0) == 0.0
+
+    def test_cost_grows_with_workers(self):
+        ps = ParameterServerCost()
+        assert ps.sync_cost(8, 0.0) > ps.sync_cost(2, 0.0)
+
+    def test_more_servers_cheaper(self):
+        few = ParameterServerCost(n_servers=1)
+        many = ParameterServerCost(n_servers=8)
+        assert many.sync_cost(8, 0.0) < few.sync_cost(8, 0.0)
+
+    def test_touched_rows_drive_cost(self):
+        light = ParameterServerCost(touched_row_bytes=1e3)
+        heavy = ParameterServerCost(touched_row_bytes=1e8)
+        assert heavy.sync_cost(4, 0.0) > light.sync_cost(4, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterServerCost(n_servers=0)
+        with pytest.raises(ValueError):
+            ParameterServerCost(server_bandwidth_bytes_per_second=0)
+
+    def test_usable_by_simulator(self, sc_split):
+        from repro.core import FVAE, FVAEConfig
+        from repro.distributed import DistributedTrainingSimulator
+
+        train, __ = sc_split
+
+        def factory():
+            return FVAE(train.schema,
+                        FVAEConfig(latent_dim=8, encoder_hidden=[32],
+                                   decoder_hidden=[32],
+                                   embedding_capacity=64, seed=0))
+
+        simulator = DistributedTrainingSimulator(
+            factory, train, comm=ParameterServerCost(n_servers=2))
+        measurement = simulator.measure(4, epochs=1, batch_size=128)
+        assert measurement.sync_seconds > 0
+        assert measurement.wall_clock > 0

@@ -1,0 +1,67 @@
+"""Experiment plumbing: scales, model zoo, config factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import UserRepresentationModel
+from repro.core import FVAEConfig
+from repro.data import make_sc_like
+from repro.experiments.common import (ExperimentScale, baseline_zoo,
+                                      fvae_config_for)
+
+ALL_MODELS = ("PCA", "LDA", "Item2Vec", "Mult-DAE", "Mult-VAE", "RecVAE",
+              "Job2Vec", "FVAE")
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return make_sc_like(n_users=50, seed=0).dataset.schema
+
+
+class TestBaselineZoo:
+    def test_contains_all_paper_models(self, schema):
+        zoo = baseline_zoo(schema, ExperimentScale(n_users=100))
+        assert set(zoo) == set(ALL_MODELS)
+
+    def test_all_implement_interface(self, schema):
+        zoo = baseline_zoo(schema, ExperimentScale(n_users=100))
+        for name, (model, fit_kwargs) in zoo.items():
+            assert isinstance(model, UserRepresentationModel), name
+            assert isinstance(fit_kwargs, dict), name
+
+    def test_include_filter(self, schema):
+        zoo = baseline_zoo(schema, ExperimentScale(n_users=100),
+                           include=("PCA", "FVAE"))
+        assert set(zoo) == {"PCA", "FVAE"}
+
+    def test_unknown_include_raises(self, schema):
+        with pytest.raises(KeyError):
+            baseline_zoo(schema, ExperimentScale(n_users=100),
+                         include=("SVM",))
+
+    def test_latent_dim_propagates(self, schema):
+        scale = ExperimentScale(n_users=100, latent_dim=17)
+        zoo = baseline_zoo(schema, scale)
+        assert zoo["PCA"][0].latent_dim == 17
+        assert zoo["FVAE"][0].config.latent_dim == 17
+        assert zoo["LDA"][0].n_topics == 17
+
+
+class TestFvaeConfigFor:
+    def test_defaults(self):
+        config = fvae_config_for(ExperimentScale(latent_dim=32))
+        assert isinstance(config, FVAEConfig)
+        assert config.latent_dim == 32
+        assert config.encoder_hidden == [128]
+
+    def test_overrides(self):
+        config = fvae_config_for(ExperimentScale(), beta=0.9,
+                                 sampling_rate=0.05)
+        assert config.beta == 0.9
+        assert config.sampling_rate == 0.05
+
+    def test_anneal_scales_with_dataset(self):
+        small = fvae_config_for(ExperimentScale(n_users=500, batch_size=500))
+        large = fvae_config_for(ExperimentScale(n_users=50_000, batch_size=500))
+        assert large.anneal_steps > small.anneal_steps

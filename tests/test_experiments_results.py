@@ -1,0 +1,134 @@
+"""Result containers of the experiment runners: aggregation and rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.exp_auc_vs_time import CurvePoint, Fig6Result
+from repro.experiments.exp_ab_test import Table6Result
+from repro.experiments.exp_billion_scale import Table4Result
+from repro.experiments.exp_datasets import Table1Result
+from repro.experiments.exp_distributed import Fig10Result
+from repro.experiments.exp_reconstruction import Table2Result
+from repro.experiments.exp_sampling import Fig5Result
+from repro.experiments.exp_scalability import Fig9Result
+from repro.experiments.exp_tag_prediction import Table3Result
+from repro.experiments.exp_training_speed import SpeedRow, Table5Result
+from repro.experiments.exp_beta import Fig8Result
+from repro.data.dataset import DatasetStats
+from repro.lookalike import ABTestReport
+from repro.tasks import ReconstructionResult, TagPredictionResult
+
+
+def recon(name, overall, per_field):
+    result = ReconstructionResult(model_name=name)
+    result.overall = {"auc": overall, "map": overall, "n_users": 10}
+    result.per_field = {f: {"auc": v, "map": v, "n_users": 10}
+                        for f, v in per_field.items()}
+    return result
+
+
+class TestTable1Result:
+    def test_to_text_contains_paper_columns(self):
+        stats = DatasetStats(n_users=100, n_fields=4, avg_features=12.5,
+                             total_vocab=5000, per_field_vocab={},
+                             per_field_avg={})
+        text = Table1Result(stats={"SC": stats}).to_text()
+        assert "SC" in text and "1.00e+06" in text  # paper's SC user count
+
+
+class TestTable2Result:
+    def test_best_per_field(self):
+        result = Table2Result(
+            results={
+                "A": recon("A", 0.9, {"x": 0.5, "y": 0.9}),
+                "B": recon("B", 0.8, {"x": 0.7, "y": 0.6}),
+            },
+            field_names=["x", "y"])
+        best = result.best_per_field("auc")
+        assert best == {"Overall": "A", "x": "B", "y": "A"}
+
+    def test_to_text_has_both_metrics(self):
+        result = Table2Result(results={"A": recon("A", 0.9, {"x": 0.5})},
+                              field_names=["x"])
+        text = result.to_text()
+        assert "AUC" in text and "MAP" in text
+
+
+class TestTable3Result:
+    def test_winner(self):
+        result = Table3Result(results={
+            "A": TagPredictionResult("A", auc=0.9, map=0.5, n_users=10),
+            "B": TagPredictionResult("B", auc=0.8, map=0.7, n_users=10),
+        })
+        assert result.winner("auc") == "A"
+        assert result.winner("map") == "B"
+
+
+class TestTable4Result:
+    def test_winner_per_dataset(self):
+        result = Table4Result(results={
+            "KD": {"A": TagPredictionResult("A", 0.9, 0.9, 10),
+                   "B": TagPredictionResult("B", 0.7, 0.7, 10)},
+        })
+        assert result.winner("KD") == "A"
+        assert "KD-like" in result.to_text()
+
+
+class TestTable5Result:
+    def test_speedup_computation(self):
+        row = SpeedRow(dataset="SC", total_vocab=1000,
+                       multvae_throughput=100.0, fvae_throughput=450.0)
+        assert row.speedup == 4.5
+        result = Table5Result(rows=[row])
+        assert result.speedups() == {"SC": 4.5}
+        assert "4.5x" in result.to_text()
+
+
+class TestTable6Result:
+    def test_relative_change_passthrough(self):
+        report = ABTestReport(
+            control={"#Following Click": 100.0, "#Like": 10.0,
+                     "Avg. Like": 1.0, "#Share": 4.0, "Avg. Share": 1.0},
+            treatment={"#Following Click": 120.0, "#Like": 11.0,
+                       "Avg. Like": 1.0, "#Share": 4.0, "Avg. Share": 1.0})
+        result = Table6Result(report=report)
+        np.testing.assert_allclose(result.relative_change["#Following Click"],
+                                   0.2)
+        assert "Table VI" in result.to_text()
+
+
+class TestFigResults:
+    def test_fig5_mean_auc(self):
+        result = Fig5Result(rates=[0.2, 0.4],
+                            auc={"uniform": [0.8, 0.9], "zipfian": [0.7, 0.8]},
+                            map={"uniform": [0.8, 0.9], "zipfian": [0.7, 0.8]})
+        np.testing.assert_allclose(result.mean_auc("uniform"), 0.85)
+        assert "uniform" in result.to_text()
+
+    def test_fig6_accessors(self):
+        curve = [CurvePoint(1.0, 0.6), CurvePoint(2.0, 0.8)]
+        result = Fig6Result(curves={0.1: curve})
+        assert result.final_auc(0.1) == 0.8
+        assert result.total_time(0.1) == 2.0
+        assert "r=0.1" in result.to_text()
+
+    def test_fig8_best_beta(self):
+        result = Fig8Result(betas=[0.0, 0.1, 0.5], auc=[0.8, 0.9, 0.7],
+                            map=[0.8, 0.9, 0.7])
+        assert result.best_beta() == 0.1
+
+    def test_fig9_perfect_line_r2(self):
+        result = Fig9Result(avg_sizes=[10, 20, 30],
+                            time_by_avg=[1.0, 2.0, 3.0],
+                            max_sizes=[100, 1000],
+                            time_by_max=[1.0, 1.1])
+        assert result.linear_fit_r2_avg() > 0.999
+        np.testing.assert_allclose(result.max_size_slowdown(), 1.1)
+
+    def test_fig10_monotonicity(self):
+        up = Fig10Result(workers=[3, 6], speedups=[2.0, 4.0])
+        down = Fig10Result(workers=[3, 6], speedups=[4.0, 2.0])
+        assert up.is_monotone()
+        assert not down.is_monotone()
+        assert "servers" in up.to_text()

@@ -1,0 +1,147 @@
+"""Feature-level dropout in the encoder and persona structure in the generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FVAE, FVAEConfig
+from repro.core.encoder import FieldAwareEncoder
+from repro.data import TopicFieldConfig, barabasi_albert_profiles, \
+    generate_topic_profiles
+
+
+class TestFeatureDropout:
+    def make_encoder(self, tiny_schema, p):
+        return FieldAwareEncoder(tiny_schema, hidden=[16], latent_dim=4,
+                                 feature_dropout=p, rng=0)
+
+    def test_invalid_probability(self, tiny_schema):
+        with pytest.raises(ValueError):
+            self.make_encoder(tiny_schema, 1.0)
+        with pytest.raises(ValueError):
+            FVAEConfig(feature_dropout=-0.1)
+
+    def test_training_outputs_vary(self, tiny_schema, tiny_dataset):
+        enc = self.make_encoder(tiny_schema, 0.5)
+        batch = tiny_dataset.batch(np.arange(4))
+        a = enc(batch)[0].data
+        b = enc(batch)[0].data
+        assert not np.allclose(a, b)
+
+    def test_eval_mode_no_corruption(self, tiny_schema, tiny_dataset):
+        enc = self.make_encoder(tiny_schema, 0.5)
+        enc(tiny_dataset.batch(np.arange(6)))  # populate tables
+        enc.eval()
+        batch = tiny_dataset.batch(np.arange(4))
+        np.testing.assert_allclose(enc(batch)[0].data, enc(batch)[0].data)
+
+    def test_all_observed_features_registered_despite_dropout(self, tiny_schema,
+                                                              tiny_dataset):
+        """The dynamic table must see every feature even when the corruption
+        drops it from the encoder input (decoder targets depend on it)."""
+        enc = self.make_encoder(tiny_schema, 0.9)
+        for __ in range(3):
+            enc(tiny_dataset.batch(np.arange(6)))
+        seen = np.unique(tiny_dataset.field("tag").indices).size
+        assert enc.bag("tag").n_features == seen
+
+    def test_expected_scale_preserved(self, tiny_schema, tiny_dataset):
+        """Inverted rescaling keeps the first-layer expectation stable."""
+        batch = tiny_dataset.batch(np.arange(6))
+        enc_plain = self.make_encoder(tiny_schema, 0.0)
+        enc_drop = FieldAwareEncoder(tiny_schema, hidden=[16], latent_dim=4,
+                                     feature_dropout=0.5, rng=0)
+        # copy weights so both encoders agree
+        enc_drop.load_state_dict(enc_plain.state_dict())
+        enc_plain(batch)  # populate tables identically
+        enc_drop(batch)
+        mu_ref = enc_plain(batch)[0].data
+        samples = np.mean([enc_drop(batch)[0].data for __ in range(300)], axis=0)
+        corr = np.corrcoef(mu_ref.ravel(), samples.ravel())[0, 1]
+        assert corr > 0.9
+
+
+class TestPersonaStructure:
+    def make(self, blend, seed=0):
+        fields = [TopicFieldConfig("ch", 64, 8.0, 1.0),
+                  TopicFieldConfig("tag", 512, 8.0, 1.0, sample=True)]
+        return generate_topic_profiles(
+            600, fields, n_topics=6, topic_purity=0.9,
+            n_personas=30, personal_blend=blend, persona_pool_size=6,
+            seed=seed)
+
+    def test_personas_returned(self):
+        syn = self.make(0.4)
+        assert syn.personas is not None
+        assert syn.personas.shape == (600,)
+        assert syn.personas.max() < 30
+
+    def test_no_personas_by_default(self):
+        syn = generate_topic_profiles(
+            50, [TopicFieldConfig("f", 32, 4.0)], n_topics=3, seed=0)
+        assert syn.personas is None
+
+    def test_blend_requires_personas(self):
+        with pytest.raises(ValueError, match="personal_blend requires"):
+            generate_topic_profiles(
+                50, [TopicFieldConfig("f", 32, 4.0)], n_topics=3,
+                personal_blend=0.3, seed=0)
+
+    def test_invalid_blend(self):
+        with pytest.raises(ValueError):
+            generate_topic_profiles(
+                50, [TopicFieldConfig("f", 32, 4.0)], n_topics=3,
+                n_personas=8, personal_blend=1.0, seed=0)
+
+    def test_same_persona_users_share_more_tags(self):
+        """Persona pools create user-level co-occurrence beyond topics."""
+        syn = self.make(0.5)
+        dense = syn.dataset.field("tag").to_dense(binary=True)
+        rng = np.random.default_rng(0)
+        same_persona, other = [], []
+        # enumerate within-persona pairs directly — random pairs rarely match
+        for p in range(30):
+            members = np.flatnonzero(syn.personas == p)
+            for a in range(len(members)):
+                for b in range(a + 1, min(a + 4, len(members))):
+                    i, j = members[a], members[b]
+                    same_persona.append(float((dense[i] * dense[j]).sum()))
+        for __ in range(2000):
+            i, j = rng.integers(0, 600, size=2)
+            if i != j and syn.personas[i] != syn.personas[j]:
+                other.append(float((dense[i] * dense[j]).sum()))
+        assert len(same_persona) > 50
+        assert np.mean(same_persona) > np.mean(other) + 0.3
+
+    def test_zero_blend_removes_persona_signal(self):
+        syn = self.make(0.0) if False else generate_topic_profiles(
+            600, [TopicFieldConfig("tag", 512, 8.0, 1.0)], n_topics=6,
+            topic_purity=0.9, n_personas=30, personal_blend=0.0, seed=0)
+        # personas exist but carry no signal: generation ignores them
+        assert syn.personas is not None
+
+
+class TestBarabasiAlbertRate:
+    def test_feature_usage_independent_of_cap(self):
+        """With constant new-feature rate, the used vocabulary is driven by
+        the user count, not the cap (the Fig 9b property)."""
+        small_cap = barabasi_albert_profiles(400, avg_features=20,
+                                             max_features=5_000, seed=0)
+        big_cap = barabasi_albert_profiles(400, avg_features=20,
+                                           max_features=50_000, seed=0)
+        used_small = int((small_cap.feature_popularity("feat") > 0).sum())
+        used_big = int((big_cap.feature_popularity("feat") > 0).sum())
+        assert abs(used_small - used_big) < 0.25 * max(used_small, used_big)
+
+    def test_new_feature_rate_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_profiles(10, 5, 100, new_feature_rate=0.0)
+
+    def test_higher_rate_more_features(self):
+        low = barabasi_albert_profiles(400, 20, 50_000, new_feature_rate=0.5,
+                                       seed=0)
+        high = barabasi_albert_profiles(400, 20, 50_000, new_feature_rate=4.0,
+                                        seed=0)
+        assert (high.feature_popularity("feat") > 0).sum() > \
+            (low.feature_popularity("feat") > 0).sum()

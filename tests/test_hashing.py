@@ -1,0 +1,147 @@
+"""Dynamic hash table and static feature hashing, incl. property-based tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import DynamicHashTable, FeatureHasher
+
+
+class TestDynamicHashTable:
+    def test_inserts_sequential_rows(self):
+        table = DynamicHashTable()
+        rows = table.lookup(["a", "b", "c"])
+        np.testing.assert_array_equal(rows, [0, 1, 2])
+
+    def test_lookup_is_idempotent(self):
+        table = DynamicHashTable()
+        first = table.lookup(["x", "y", "x"])
+        second = table.lookup(["x", "y", "x"])
+        np.testing.assert_array_equal(first, second)
+        assert table.size == 2
+
+    def test_duplicate_in_one_batch(self):
+        table = DynamicHashTable()
+        rows = table.lookup([7, 7, 8])
+        np.testing.assert_array_equal(rows, [0, 0, 1])
+
+    def test_frozen_returns_minus_one(self):
+        table = DynamicHashTable()
+        table.lookup(["known"])
+        table.freeze()
+        rows = table.lookup(["known", "unknown"])
+        np.testing.assert_array_equal(rows, [0, -1])
+        assert table.size == 1
+
+    def test_unfreeze_resumes_growth(self):
+        table = DynamicHashTable(frozen=True)
+        assert table.lookup(["a"])[0] == -1
+        table.unfreeze()
+        assert table.lookup(["a"])[0] == 0
+
+    def test_rows_for_never_grows(self):
+        table = DynamicHashTable()
+        table.lookup(["a"])
+        rows = table.rows_for(["a", "new"])
+        np.testing.assert_array_equal(rows, [0, -1])
+        assert table.size == 1
+
+    def test_grow_counter(self):
+        table = DynamicHashTable()
+        table.lookup(["a", "b", "a"])
+        assert table.grows == 2
+
+    def test_contains_and_iteration(self):
+        table = DynamicHashTable()
+        table.lookup(["a", "b"])
+        assert "a" in table and "c" not in table
+        assert sorted(table) == ["a", "b"]
+        assert len(table) == 2
+
+    def test_copy_is_independent(self):
+        table = DynamicHashTable()
+        table.lookup(["a"])
+        clone = table.copy()
+        clone.lookup(["b"])
+        assert table.size == 1 and clone.size == 2
+
+    def test_mixed_key_types(self):
+        table = DynamicHashTable()
+        rows = table.lookup([1, "1", (1, 2)])
+        assert len(set(rows.tolist())) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_rows_are_dense_and_stable(self, keys):
+        """Rows are exactly 0..n_distinct-1 and stable across lookups."""
+        table = DynamicHashTable()
+        rows = table.lookup(keys)
+        distinct = len(set(keys))
+        assert table.size == distinct
+        assert set(np.unique(rows).tolist()) == set(range(distinct))
+        np.testing.assert_array_equal(table.lookup(keys), rows)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=100, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_property_distinct_keys_distinct_rows(self, keys):
+        table = DynamicHashTable()
+        rows = table.lookup(keys)
+        assert len(set(rows.tolist())) == len(keys)
+
+
+class TestFeatureHasher:
+    def test_bucket_range(self):
+        hasher = FeatureHasher(n_buckets=100)
+        buckets = hasher.bucket(range(1000))
+        assert buckets.min() >= 0 and buckets.max() < 100
+
+    def test_deterministic(self):
+        a = FeatureHasher(n_buckets=64, seed=3)
+        b = FeatureHasher(n_buckets=64, seed=3)
+        np.testing.assert_array_equal(a.bucket(range(50)), b.bucket(range(50)))
+
+    def test_seed_changes_assignment(self):
+        a = FeatureHasher(n_buckets=1024, seed=0)
+        b = FeatureHasher(n_buckets=1024, seed=1)
+        assert not np.array_equal(a.bucket(range(200)), b.bucket(range(200)))
+
+    def test_bucket_ints_fast_path_in_range(self):
+        hasher = FeatureHasher(n_buckets=128, seed=5)
+        out = hasher.bucket_ints(np.arange(10_000))
+        assert out.min() >= 0 and out.max() < 128
+
+    def test_bucket_ints_deterministic(self):
+        hasher = FeatureHasher(n_buckets=128, seed=5)
+        np.testing.assert_array_equal(hasher.bucket_ints(np.arange(100)),
+                                      hasher.bucket_ints(np.arange(100)))
+
+    def test_collisions_inevitable_beyond_buckets(self):
+        """Pigeonhole: more keys than buckets must collide — the problem the
+        paper's dynamic hash tables avoid."""
+        hasher = FeatureHasher(n_buckets=32)
+        assert hasher.collision_rate(range(1000)) > 0.9
+
+    def test_collision_rate_zero_for_empty(self):
+        assert FeatureHasher(16).collision_rate([]) == 0.0
+
+    def test_collision_rate_low_when_sparse(self):
+        hasher = FeatureHasher(n_buckets=1 << 20)
+        assert hasher.collision_rate(range(100)) < 0.01
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            FeatureHasher(n_buckets=0)
+
+    def test_dynamic_vs_static_collision_contrast(self):
+        """The paper's motivation: dynamic tables stay collision-free where
+        static hashing collides."""
+        keys = list(range(500))
+        table = DynamicHashTable()
+        rows = table.lookup(keys)
+        assert len(set(rows.tolist())) == len(keys)          # no collisions
+        hasher = FeatureHasher(n_buckets=256)
+        assert len(set(hasher.bucket(keys).tolist())) < len(keys)  # collisions

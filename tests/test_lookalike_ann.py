@@ -1,0 +1,99 @@
+"""LSH approximate nearest-neighbour index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lookalike import LSHIndex
+
+
+def clustered_vectors(n_clusters=5, per_cluster=60, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 5.0, size=(n_clusters, dim))
+    points = np.concatenate([
+        center + rng.normal(0, 0.3, size=(per_cluster, dim))
+        for center in centers])
+    return points
+
+
+class TestLSHIndex:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LSHIndex(dim=0)
+        with pytest.raises(ValueError):
+            LSHIndex(dim=4, n_bits=63)
+
+    def test_fit_shape_validation(self):
+        index = LSHIndex(dim=8)
+        with pytest.raises(ValueError):
+            index.fit(np.zeros((5, 4)))
+
+    def test_query_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LSHIndex(dim=4).query(np.zeros(4), 1)
+
+    def test_query_k_validation(self):
+        index = LSHIndex(dim=4).fit(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            index.query(np.zeros(4), 0)
+
+    def test_self_query_returns_self_first(self):
+        points = clustered_vectors()
+        index = LSHIndex(dim=points.shape[1], n_tables=6, n_bits=8,
+                         seed=0).fit(points)
+        for i in (0, 100, 250):
+            result = index.query(points[i], k=1)
+            assert result[0] == i
+
+    def test_results_sorted_by_distance(self):
+        points = clustered_vectors()
+        index = LSHIndex(dim=points.shape[1], n_tables=6, n_bits=8,
+                         seed=0).fit(points)
+        result = index.query(points[10], k=10)
+        d = np.sum((points[result] - points[10]) ** 2, axis=1)
+        assert np.all(np.diff(d) >= 0)
+
+    def test_high_recall_on_clustered_data(self):
+        points = clustered_vectors()
+        index = LSHIndex(dim=points.shape[1], n_tables=8, n_bits=8,
+                         seed=0).fit(points)
+        queries = points[::25]
+        assert index.recall_at_k(queries, k=10) > 0.8
+
+    def test_more_tables_more_recall(self):
+        points = clustered_vectors(seed=3)
+        queries = points[::20]
+        small = LSHIndex(dim=points.shape[1], n_tables=1, n_bits=10,
+                         seed=0).fit(points)
+        big = LSHIndex(dim=points.shape[1], n_tables=12, n_bits=10,
+                       seed=0).fit(points)
+        assert big.recall_at_k(queries, k=10) >= small.recall_at_k(queries, k=10)
+
+    def test_fallback_to_exact_guarantees_k(self):
+        points = clustered_vectors()
+        # absurdly fine buckets: candidate sets are tiny
+        index = LSHIndex(dim=points.shape[1], n_tables=1, n_bits=30,
+                         seed=0).fit(points)
+        result = index.query(points[0], k=20, fallback_to_exact=True)
+        assert result.size == 20
+
+    def test_no_fallback_may_return_fewer(self):
+        points = clustered_vectors()
+        index = LSHIndex(dim=points.shape[1], n_tables=1, n_bits=30,
+                         seed=0).fit(points)
+        result = index.query(points[0], k=200, fallback_to_exact=False)
+        assert result.size <= 200
+
+    def test_refit_replaces_contents(self):
+        index = LSHIndex(dim=4, seed=0)
+        index.fit(np.zeros((10, 4)))
+        index.fit(np.zeros((3, 4)))
+        assert index.size == 3
+
+    def test_deterministic(self):
+        points = clustered_vectors()
+        a = LSHIndex(dim=points.shape[1], seed=5).fit(points)
+        b = LSHIndex(dim=points.shape[1], seed=5).fit(points)
+        np.testing.assert_array_equal(a.query(points[7], 5),
+                                      b.query(points[7], 5))

@@ -1,0 +1,48 @@
+"""Audience-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lookalike import (expansion_lift, expansion_precision,
+                             precision_at_depths)
+
+
+class TestExpansionPrecision:
+    def test_perfect(self):
+        assert expansion_precision(np.array([1, 2, 3]),
+                                   np.array([1, 2, 3, 4])) == 1.0
+
+    def test_half(self):
+        assert expansion_precision(np.array([1, 9]), np.array([1, 2])) == 0.5
+
+    def test_empty_expansion_is_nan(self):
+        assert np.isnan(expansion_precision(np.array([]), np.array([1])))
+
+
+class TestExpansionLift:
+    def test_lift_over_base_rate(self):
+        # base rate 10/100; precision 1.0 -> lift 10
+        lift = expansion_lift(np.arange(5), np.arange(10), population_size=100)
+        np.testing.assert_allclose(lift, 10.0)
+
+    def test_no_positives_is_nan(self):
+        assert np.isnan(expansion_lift(np.array([1]), np.array([]),
+                                       population_size=10))
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            expansion_lift(np.array([1]), np.array([1]), population_size=0)
+
+
+class TestPrecisionAtDepths:
+    def test_prefix_semantics(self):
+        expanded = np.array([1, 2, 9, 9])
+        positives = np.array([1, 2])
+        out = precision_at_depths(expanded, positives, [1, 2, 4])
+        assert out[1] == 1.0 and out[2] == 1.0 and out[4] == 0.5
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_depths(np.array([1]), np.array([1]), [0])

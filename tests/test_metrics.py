@@ -1,0 +1,156 @@
+"""Ranking metrics: hand-computed cases, ties, and invariances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CSRMatrix
+from repro.metrics import (average_precision, mean_ranking_metrics, roc_auc,
+                           sampled_negative_metrics)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc([0.9, 0.8, 0.2, 0.1], [1, 1, 0, 0]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [1, 1, 0, 0]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(10000)
+        labels = rng.random(10000) < 0.3
+        assert abs(roc_auc(scores, labels) - 0.5) < 0.02
+
+    def test_all_ties_is_half(self):
+        assert roc_auc([1.0, 1.0, 1.0, 1.0], [1, 0, 1, 0]) == 0.5
+
+    def test_single_class_is_nan(self):
+        assert np.isnan(roc_auc([0.1, 0.2], [1, 1]))
+        assert np.isnan(roc_auc([0.1, 0.2], [0, 0]))
+
+    def test_known_value(self):
+        # scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won = 3/4
+        auc = roc_auc([0.8, 0.4, 0.6, 0.2], [1, 1, 0, 0])
+        np.testing.assert_allclose(auc, 0.75)
+
+    def test_monotone_transform_invariant(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=50)
+        labels = rng.random(50) < 0.5
+        a = roc_auc(scores, labels)
+        b = roc_auc(np.exp(scores), labels)
+        np.testing.assert_allclose(a, b)
+
+    @given(st.integers(min_value=2, max_value=60), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_complement_symmetry(self, n, seed):
+        """AUC(scores, labels) == 1 − AUC(−scores, labels)."""
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        labels = rng.random(n) < 0.5
+        if labels.all() or not labels.any():
+            return
+        np.testing.assert_allclose(roc_auc(scores, labels),
+                                   1.0 - roc_auc(-scores, labels), atol=1e-12)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision([0.9, 0.8, 0.1], [1, 1, 0]) == 1.0
+
+    def test_known_value(self):
+        # ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2
+        ap = average_precision([0.9, 0.8, 0.7], [1, 0, 1])
+        np.testing.assert_allclose(ap, (1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_no_positive_is_nan(self):
+        assert np.isnan(average_precision([0.5, 0.4], [0, 0]))
+
+    def test_worst_case(self):
+        ap = average_precision([0.9, 0.1], [0, 1])
+        np.testing.assert_allclose(ap, 0.5)
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        labels = rng.random(n) < 0.5
+        if not labels.any():
+            return
+        ap = average_precision(scores, labels)
+        assert 0.0 <= ap <= 1.0
+
+
+class TestMeanRankingMetrics:
+    def test_perfect_model(self):
+        positives = CSRMatrix.from_rows([[0], [1]], n_cols=3)
+        scores = np.array([[10.0, 0.0, 0.0], [0.0, 10.0, 0.0]])
+        out = mean_ranking_metrics(scores, positives)
+        assert out["auc"] == 1.0 and out["map"] == 1.0 and out["n_users"] == 2
+
+    def test_skips_degenerate_users(self):
+        positives = CSRMatrix.from_rows([[0], [], [0, 1, 2]], n_cols=3)
+        scores = np.zeros((3, 3))
+        out = mean_ranking_metrics(scores, positives)
+        assert out["n_users"] == 1  # only user 0 has pos and neg
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_ranking_metrics(np.zeros((2, 3)),
+                                 CSRMatrix.from_rows([[0]], n_cols=3))
+
+    def test_all_degenerate_returns_nan(self):
+        positives = CSRMatrix.from_rows([[]], n_cols=2)
+        out = mean_ranking_metrics(np.zeros((1, 2)), positives)
+        assert np.isnan(out["auc"])
+
+
+class TestSampledNegativeMetrics:
+    def test_perfect_model(self):
+        positives = CSRMatrix.from_rows([[0, 1], [2]], n_cols=20)
+        scores = np.full((2, 20), -1.0)
+        scores[0, [0, 1]] = 1.0
+        scores[1, 2] = 1.0
+        out = sampled_negative_metrics(scores, positives, rng=0)
+        assert out["auc"] == 1.0 and out["map"] == 1.0
+
+    def test_negatives_equal_positives_count(self):
+        """With a random model, AUC ~ 0.5 and the protocol is balanced."""
+        rng = np.random.default_rng(0)
+        positives = CSRMatrix.from_rows(
+            [list(rng.choice(200, size=5, replace=False)) for __ in range(100)],
+            n_cols=200)
+        scores = rng.normal(size=(100, 200))
+        out = sampled_negative_metrics(scores, positives, rng=1)
+        assert abs(out["auc"] - 0.5) < 0.05
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(0)
+        positives = CSRMatrix.from_rows([[1, 2], [5]], n_cols=50)
+        scores = rng.normal(size=(2, 50))
+        a = sampled_negative_metrics(scores, positives, rng=3)
+        b = sampled_negative_metrics(scores, positives, rng=3)
+        assert a == b
+
+    def test_skips_users_without_positives(self):
+        positives = CSRMatrix.from_rows([[], [1]], n_cols=10)
+        out = sampled_negative_metrics(np.zeros((2, 10)), positives, rng=0)
+        assert out["n_users"] == 1
+
+    def test_negatives_per_positive(self):
+        positives = CSRMatrix.from_rows([[0]], n_cols=100)
+        scores = np.zeros((1, 100))
+        scores[0, 0] = 1.0
+        out = sampled_negative_metrics(scores, positives, rng=0,
+                                       negatives_per_positive=5)
+        assert out["auc"] == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sampled_negative_metrics(np.zeros((1, 3)),
+                                     CSRMatrix.from_rows([[0]], n_cols=5))

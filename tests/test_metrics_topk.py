@@ -1,0 +1,113 @@
+"""Top-K metrics: Recall@K, Precision@K, NDCG@K."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CSRMatrix
+from repro.metrics import ndcg_at_k, precision_at_k, recall_at_k, topk_report
+
+
+def scores_and_positives():
+    # user 0: positives {0, 1}; ranking: 0, 2, 1, 3
+    # user 1: positives {3};   ranking: 3, 2, 1, 0
+    scores = np.array([
+        [4.0, 2.0, 3.0, 1.0],
+        [1.0, 2.0, 3.0, 4.0],
+    ])
+    positives = CSRMatrix.from_rows([[0, 1], [3]], n_cols=4)
+    return scores, positives
+
+
+class TestRecallAtK:
+    def test_hand_computed(self):
+        scores, positives = scores_and_positives()
+        # k=2: user0 top2={0,2} hits 1/2; user1 top2={3,2} hits 1/1
+        np.testing.assert_allclose(recall_at_k(scores, positives, 2),
+                                   (0.5 + 1.0) / 2)
+
+    def test_full_depth_is_one(self):
+        scores, positives = scores_and_positives()
+        assert recall_at_k(scores, positives, 4) == 1.0
+
+    def test_skips_users_without_positives(self):
+        scores = np.zeros((2, 3))
+        positives = CSRMatrix.from_rows([[0], []], n_cols=3)
+        value = recall_at_k(scores + np.array([[1.0, 0, 0], [0, 0, 0]]),
+                            positives, 1)
+        assert value == 1.0  # only user 0 counted
+
+    def test_all_empty_is_nan(self):
+        positives = CSRMatrix.from_rows([[]], n_cols=3)
+        assert np.isnan(recall_at_k(np.zeros((1, 3)), positives, 1))
+
+    def test_validation(self):
+        scores, positives = scores_and_positives()
+        with pytest.raises(ValueError):
+            recall_at_k(scores, positives, 0)
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((2, 5)), positives, 1)
+
+
+class TestPrecisionAtK:
+    def test_hand_computed(self):
+        scores, positives = scores_and_positives()
+        # k=2: user0 1/2; user1 1/2
+        np.testing.assert_allclose(precision_at_k(scores, positives, 2), 0.5)
+
+    def test_k_larger_than_vocab_clamps(self):
+        scores, positives = scores_and_positives()
+        value = precision_at_k(scores, positives, 100)
+        # effective k=4: user0 2/4, user1 1/4
+        np.testing.assert_allclose(value, (0.5 + 0.25) / 2)
+
+
+class TestNdcgAtK:
+    def test_perfect_ranking_is_one(self):
+        scores = np.array([[3.0, 2.0, 1.0, 0.0]])
+        positives = CSRMatrix.from_rows([[0, 1]], n_cols=4)
+        np.testing.assert_allclose(ndcg_at_k(scores, positives, 2), 1.0)
+
+    def test_hand_computed(self):
+        # positives {0}; ranking puts it second: DCG = 1/log2(3); IDCG = 1
+        scores = np.array([[2.0, 3.0, 1.0]])
+        positives = CSRMatrix.from_rows([[0]], n_cols=3)
+        np.testing.assert_allclose(ndcg_at_k(scores, positives, 2),
+                                   1.0 / np.log2(3.0))
+
+    def test_miss_is_zero(self):
+        scores = np.array([[0.0, 0.5, 1.0]])
+        positives = CSRMatrix.from_rows([[0]], n_cols=3)
+        assert ndcg_at_k(scores, positives, 2) == 0.0
+
+    def test_monotone_in_k_for_recall_like_data(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(30, 40))
+        positives = CSRMatrix.from_rows(
+            [list(rng.choice(40, size=5, replace=False)) for __ in range(30)],
+            n_cols=40)
+        assert recall_at_k(scores, positives, 20) >= \
+            recall_at_k(scores, positives, 5)
+
+
+class TestTopkReport:
+    def test_keys_and_ranges(self):
+        scores, positives = scores_and_positives()
+        report = topk_report(scores, positives, [1, 2])
+        assert set(report) == {1, 2}
+        for metrics in report.values():
+            assert set(metrics) == {"recall", "precision", "ndcg"}
+            assert all(0.0 <= v <= 1.0 for v in metrics.values())
+
+    def test_better_model_better_report(self, sc_split, trained_fvae):
+        """Trained FVAE beats random scoring on every top-K metric."""
+        __, test = sc_split
+        scores = trained_fvae.score_field(test.blank_fields(["tag"]), "tag")
+        rng = np.random.default_rng(0)
+        random_scores = rng.normal(size=scores.shape)
+        positives = test.field("tag").binarize()
+        good = topk_report(scores, positives, [10])[10]
+        bad = topk_report(random_scores, positives, [10])[10]
+        assert good["recall"] > bad["recall"]
+        assert good["ndcg"] > bad["ndcg"]

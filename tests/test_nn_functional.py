@@ -1,0 +1,201 @@
+"""Functional ops: gradients, sparse-parameter paths, and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor
+from repro.nn import functional as F
+from tests.test_nn_tensor import check_gradients
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestGatherOps:
+    def test_rows_dense_gradcheck(self, rng):
+        w = Parameter(rng.normal(size=(6, 3)))
+        idx = np.array([0, 2, 2, 5])
+        check_gradients(lambda: (F.rows(w, idx).tanh()).sum(), [w])
+
+    def test_rows_sparse_records_parts(self, rng):
+        w = Parameter(rng.normal(size=(6, 3)), sparse=True)
+        idx = np.array([1, 4])
+        out = F.rows(w, idx).sum()
+        out.backward()
+        assert w.grad is None
+        assert len(w.sparse_grad_parts) == 1
+        parts_rows, parts_grads = w.sparse_grad_parts[0]
+        np.testing.assert_array_equal(parts_rows, idx)
+        assert parts_grads.shape == (2, 3)
+
+    def test_rows_sparse_matches_dense_gradient(self, rng):
+        data = rng.normal(size=(6, 3))
+        idx = np.array([0, 0, 3])
+        w_sparse = Parameter(data.copy(), sparse=True)
+        w_dense = Parameter(data.copy(), sparse=False)
+        (F.rows(w_sparse, idx).tanh()).sum().backward()
+        (F.rows(w_dense, idx).tanh()).sum().backward()
+        np.testing.assert_allclose(w_sparse.densify_grad(), w_dense.grad)
+
+    def test_take_1d(self, rng):
+        b = Parameter(rng.normal(size=(8,)))
+        idx = np.array([1, 1, 7])
+        check_gradients(lambda: (F.take(b, idx) ** 2.0).sum(), [b])
+
+    def test_take_rejects_2d(self, rng):
+        w = Parameter(rng.normal(size=(3, 2)))
+        with pytest.raises(ValueError):
+            F.take(w, np.array([0]))
+
+
+class TestEmbeddingBag:
+    def test_gradcheck_weighted(self, rng):
+        w = Parameter(rng.normal(size=(10, 3)), sparse=True)
+        idx = np.array([1, 2, 2, 5, 7])
+        off = np.array([0, 2, 2, 5])
+        wts = np.array([1.0, 2.0, 0.5, 1.0, 3.0])
+        check_gradients(
+            lambda: F.embedding_bag(w, idx, off, wts).tanh().sum(), [w])
+
+    def test_forward_matches_manual(self, rng):
+        w = Parameter(rng.normal(size=(5, 2)))
+        idx = np.array([0, 1, 3])
+        off = np.array([0, 2, 3])
+        out = F.embedding_bag(w, idx, off)
+        np.testing.assert_allclose(out.data[0], w.data[0] + w.data[1])
+        np.testing.assert_allclose(out.data[1], w.data[3])
+
+    def test_empty_bag_is_zero(self, rng):
+        w = Parameter(rng.normal(size=(5, 2)))
+        out = F.embedding_bag(w, np.array([2]), np.array([0, 0, 1]))
+        np.testing.assert_allclose(out.data[0], 0.0)
+        np.testing.assert_allclose(out.data[1], w.data[2])
+
+    def test_all_bags_empty(self, rng):
+        w = Parameter(rng.normal(size=(5, 2)))
+        out = F.embedding_bag(w, np.empty(0, dtype=np.int64), np.array([0, 0, 0]))
+        assert out.shape == (2, 2)
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_bad_offsets_rejected(self, rng):
+        w = Parameter(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            F.embedding_bag(w, np.array([0, 1]), np.array([0, 1]))  # doesn't end at 2
+        with pytest.raises(ValueError):
+            F.embedding_bag(w, np.array([0, 1]), np.array([1, 2]))  # doesn't start at 0
+
+
+class TestSoftmaxFamily:
+    def test_log_softmax_gradcheck(self, rng):
+        x = Parameter(rng.normal(size=(3, 5)))
+        t = rng.random((3, 5))
+        check_gradients(lambda: (Tensor(t) * F.log_softmax(x)).sum(), [x])
+
+    def test_softmax_gradcheck(self, rng):
+        x = Parameter(rng.normal(size=(2, 4)))
+        t = rng.random((2, 4))
+        check_gradients(lambda: (Tensor(t) * F.softmax(x)).sum(), [x])
+
+    def test_log_softmax_normalises(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)) * 10)
+        lp = F.log_softmax(x)
+        np.testing.assert_allclose(np.exp(lp.data).sum(axis=1), 1.0, atol=1e-12)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0, -1000.0]]))
+        lp = F.log_softmax(x)
+        assert np.isfinite(lp.data).all()
+
+    def test_softmax_axis0(self, rng):
+        x = Tensor(rng.normal(size=(3, 2)))
+        s = F.softmax(x, axis=0)
+        np.testing.assert_allclose(s.data.sum(axis=0), 1.0)
+
+    def test_softplus_gradcheck(self, rng):
+        x = Parameter(rng.normal(size=(5,)) * 3)
+        check_gradients(lambda: F.softplus(x).sum(), [x])
+
+    def test_softplus_stable(self):
+        x = Tensor(np.array([500.0, -500.0]))
+        out = F.softplus(x)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data[0], 500.0)
+        np.testing.assert_allclose(out.data[1], 0.0, atol=1e-12)
+
+
+class TestDropoutConcat:
+    def test_dropout_off_in_eval(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_zero_p_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_dropout_scales_kept_units(self, rng):
+        x = Tensor(np.ones((1000, 10)))
+        out = F.dropout(x, 0.5, rng, training=True)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        # roughly half survive
+        assert 0.4 < (out.data > 0).mean() < 0.6
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+    def test_dropout_gradient_masks(self, rng):
+        x = Parameter(np.ones((50,)))
+        out = F.dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        mask = out.data > 0
+        np.testing.assert_allclose(x.grad[mask], 2.0)
+        np.testing.assert_allclose(x.grad[~mask], 0.0)
+
+    def test_concat_gradcheck(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        b = Parameter(rng.normal(size=(2, 2)))
+        check_gradients(lambda: (F.concat([a, b], axis=1).tanh()).sum(), [a, b])
+
+    def test_concat_axis0(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        b = Parameter(rng.normal(size=(1, 3)))
+        out = F.concat([a, b], axis=0)
+        assert out.shape == (3, 3)
+
+    def test_stack_rows_gradcheck(self, rng):
+        a = Parameter(rng.normal(size=(4,)))
+        b = Parameter(rng.normal(size=(4,)))
+        check_gradients(lambda: (F.stack_rows([a, b]) ** 2.0).sum(), [a, b])
+
+
+class TestBatchedSoftmaxComposition:
+    """The decoder's batched softmax is a composition of the ops above."""
+
+    def test_full_composition_gradcheck(self, rng):
+        w = Parameter(rng.normal(size=(12, 3)), sparse=True)
+        b = Parameter(np.zeros(12), sparse=True)
+        h = Parameter(rng.normal(size=(2, 3)))
+        cand = np.array([0, 3, 5, 9])
+        targets = rng.integers(0, 3, size=(2, 4)).astype(float)
+
+        def loss():
+            logits = h @ F.rows(w, cand).T + F.take(b, cand)
+            return -(Tensor(targets) * F.log_softmax(logits)).sum()
+
+        check_gradients(loss, [w, b, h])
+
+    def test_candidate_restriction_equals_dense_slice(self, rng):
+        """Logits over a candidate subset equal the same slice of full logits."""
+        w = Parameter(rng.normal(size=(10, 4)))
+        b = Parameter(rng.normal(size=(10,)))
+        h = Tensor(rng.normal(size=(3, 4)))
+        cand = np.array([1, 4, 7])
+        sub = (h @ F.rows(w, cand).T + F.take(b, cand)).data
+        full = h.data @ w.data.T + b.data
+        np.testing.assert_allclose(sub, full[:, cand])

@@ -1,0 +1,117 @@
+"""Loss functions: closed-form values and gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (Parameter, Tensor, gaussian_kl, gaussian_kl_to, mse,
+                      multinomial_nll)
+from repro.nn import functional as F
+from tests.test_nn_tensor import check_gradients
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestMultinomialNLL:
+    def test_value_matches_manual(self, rng):
+        logits = rng.normal(size=(2, 4))
+        targets = np.array([[1.0, 0, 2, 0], [0, 1, 0, 1]])
+        lp = F.log_softmax(Tensor(logits))
+        loss = multinomial_nll(lp, targets, reduce_mean=False)
+        manual = -(targets * lp.data).sum()
+        np.testing.assert_allclose(loss.item(), manual)
+
+    def test_mean_reduction_divides_by_batch(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        targets = np.ones((4, 3))
+        lp = F.log_softmax(logits)
+        total = multinomial_nll(lp, targets, reduce_mean=False).item()
+        mean = multinomial_nll(lp, targets, reduce_mean=True).item()
+        np.testing.assert_allclose(mean, total / 4)
+
+    def test_shape_mismatch(self, rng):
+        lp = F.log_softmax(Tensor(rng.normal(size=(2, 3))))
+        with pytest.raises(ValueError):
+            multinomial_nll(lp, np.ones((2, 4)))
+
+    def test_gradcheck(self, rng):
+        x = Parameter(rng.normal(size=(2, 4)))
+        t = rng.integers(0, 3, size=(2, 4)).astype(float)
+        check_gradients(lambda: multinomial_nll(F.log_softmax(x), t), [x])
+
+    def test_zero_targets_zero_loss(self, rng):
+        lp = F.log_softmax(Tensor(rng.normal(size=(2, 3))))
+        assert multinomial_nll(lp, np.zeros((2, 3))).item() == 0.0
+
+
+class TestGaussianKL:
+    def test_standard_normal_posterior_is_zero(self):
+        mu = Tensor(np.zeros((3, 4)), requires_grad=True)
+        logvar = Tensor(np.zeros((3, 4)), requires_grad=True)
+        np.testing.assert_allclose(gaussian_kl(mu, logvar).item(), 0.0)
+
+    def test_known_value(self):
+        # KL(N(1, 1) || N(0,1)) per-dim = 0.5·(1 + 1 − 1 − 0) = 0.5
+        mu = Tensor(np.ones((1, 1)), requires_grad=True)
+        logvar = Tensor(np.zeros((1, 1)), requires_grad=True)
+        np.testing.assert_allclose(gaussian_kl(mu, logvar).item(), 0.5)
+
+    def test_always_non_negative(self, rng):
+        mu = Tensor(rng.normal(size=(10, 5)))
+        logvar = Tensor(rng.normal(size=(10, 5)))
+        assert gaussian_kl(Tensor(mu.data, requires_grad=True),
+                           Tensor(logvar.data, requires_grad=True)).item() >= 0.0
+
+    def test_gradcheck(self, rng):
+        mu = Parameter(rng.normal(size=(2, 3)))
+        logvar = Parameter(rng.normal(size=(2, 3)) * 0.3)
+        check_gradients(lambda: gaussian_kl(mu, logvar), [mu, logvar])
+
+    def test_sum_reduction(self, rng):
+        mu = Parameter(rng.normal(size=(4, 2)))
+        logvar = Parameter(np.zeros((4, 2)))
+        total = gaussian_kl(mu, logvar, reduce_mean=False).item()
+        mean = gaussian_kl(mu, logvar, reduce_mean=True).item()
+        np.testing.assert_allclose(mean, total / 4)
+
+
+class TestGaussianKLTo:
+    def test_matches_standard_kl_for_standard_prior(self, rng):
+        mu = Parameter(rng.normal(size=(3, 4)))
+        logvar = Parameter(rng.normal(size=(3, 4)) * 0.2)
+        standard = gaussian_kl(mu, logvar).item()
+        general = gaussian_kl_to(mu, logvar, np.zeros((3, 4)),
+                                 np.zeros((3, 4))).item()
+        np.testing.assert_allclose(general, standard, rtol=1e-10)
+
+    def test_zero_when_posterior_equals_prior(self, rng):
+        mu_val = rng.normal(size=(2, 3))
+        logvar_val = rng.normal(size=(2, 3)) * 0.1
+        mu = Parameter(mu_val.copy())
+        logvar = Parameter(logvar_val.copy())
+        kl = gaussian_kl_to(mu, logvar, mu_val, logvar_val).item()
+        np.testing.assert_allclose(kl, 0.0, atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        mu = Parameter(rng.normal(size=(2, 3)))
+        logvar = Parameter(rng.normal(size=(2, 3)) * 0.2)
+        mu_p = rng.normal(size=(2, 3))
+        lv_p = rng.normal(size=(2, 3)) * 0.2
+        check_gradients(lambda: gaussian_kl_to(mu, logvar, mu_p, lv_p),
+                        [mu, logvar])
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 3.0]), requires_grad=True)
+        loss = mse(pred, np.array([0.0, 0.0]))
+        np.testing.assert_allclose(loss.item(), (1 + 9) / 2)
+
+    def test_gradcheck(self, rng):
+        pred = Parameter(rng.normal(size=(3, 2)))
+        target = rng.normal(size=(3, 2))
+        check_gradients(lambda: mse(pred, target), [pred])

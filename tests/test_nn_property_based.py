@@ -1,0 +1,115 @@
+"""Property-based autograd verification with hypothesis.
+
+Random compositions of ops are gradient-checked against finite differences,
+catching interaction bugs no hand-written case covers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Parameter, Tensor
+from repro.nn import functional as F
+from tests.test_nn_tensor import check_gradients
+
+# Each op maps a (batch, width) tensor to a tensor usable by the next op.
+_SAFE_UNARY = [
+    ("tanh", lambda t: t.tanh()),
+    ("sigmoid", lambda t: t.sigmoid()),
+    ("softplus", F.softplus),
+    ("scale", lambda t: t * 0.7),
+    ("shift", lambda t: t + 0.3),
+    ("neg", lambda t: -t),
+    ("log_softmax", lambda t: F.log_softmax(t, axis=-1)),
+    ("softmax_scaled", lambda t: F.softmax(t, axis=-1) * 3.0),
+]
+
+
+@st.composite
+def op_chains(draw):
+    depth = draw(st.integers(min_value=1, max_value=4))
+    ops = [draw(st.sampled_from(_SAFE_UNARY)) for __ in range(depth)]
+    batch = draw(st.integers(min_value=1, max_value=3))
+    width = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return ops, batch, width, seed
+
+
+class TestRandomOpChains:
+    @given(op_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_chain_gradcheck(self, chain):
+        ops, batch, width, seed = chain
+        rng = np.random.default_rng(seed)
+        param = Parameter(rng.normal(scale=0.5, size=(batch, width)))
+        weights = rng.normal(size=(batch, width))
+
+        def loss():
+            t = param * 1.0
+            for __, op in ops:
+                t = op(t)
+            return (Tensor(weights) * t).sum()
+
+        check_gradients(loss, [param], tol=1e-4)
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_then_reduce(self, rows, inner, seed):
+        rng = np.random.default_rng(seed)
+        a = Parameter(rng.normal(size=(rows, inner)))
+        b = Parameter(rng.normal(size=(inner, 3)))
+
+        def loss():
+            return ((a @ b).tanh() ** 2.0).sum()
+
+        check_gradients(loss, [a, b], tol=1e-4)
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_gather_scatter_consistency(self, vocab, n_gather, seed):
+        """rows() gradients equal the dense equivalent for any index pattern."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(vocab, 2))
+        idx = rng.integers(0, vocab, size=n_gather)
+        sparse = Parameter(data.copy(), sparse=True)
+        dense = Parameter(data.copy())
+        (F.rows(sparse, idx).tanh()).sum().backward()
+        (F.rows(dense, idx).tanh()).sum().backward()
+        np.testing.assert_allclose(sparse.densify_grad(), dense.grad,
+                                   atol=1e-12)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                    max_size=12),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_embedding_bag_matches_manual_sum(self, bag_sizes, seed):
+        rng = np.random.default_rng(seed)
+        vocab = 8
+        weight = Parameter(rng.normal(size=(vocab, 3)))
+        offsets = np.zeros(len(bag_sizes) + 1, dtype=np.int64)
+        np.cumsum(bag_sizes, out=offsets[1:])
+        indices = rng.integers(0, vocab, size=int(offsets[-1]))
+        out = F.embedding_bag(weight, indices, offsets)
+        for i, size in enumerate(bag_sizes):
+            segment = indices[offsets[i]:offsets[i + 1]]
+            expected = weight.data[segment].sum(axis=0) if size else np.zeros(3)
+            np.testing.assert_allclose(out.data[i], expected, atol=1e-12)
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_broadcasting_grad_shapes(self, rows, cols, seed):
+        """Broadcast add/mul always produce gradients of the leaf shapes."""
+        rng = np.random.default_rng(seed)
+        a = Parameter(rng.normal(size=(rows, cols)))
+        b = Parameter(rng.normal(size=(cols,)))
+        ((a * b + b) ** 2.0).sum().backward()
+        assert a.grad.shape == (rows, cols)
+        assert b.grad.shape == (cols,)

@@ -1,0 +1,115 @@
+"""Learning-rate schedules and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (ConstantLR, CosineDecay, Parameter, StepDecay,
+                      WarmupWrapper, clip_grad_norm)
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR()
+        assert sched(0) == sched(10_000) == 1.0
+
+    def test_step_decay(self):
+        sched = StepDecay(step_size=10, gamma=0.5)
+        assert sched(0) == 1.0
+        assert sched(9) == 1.0
+        assert sched(10) == 0.5
+        assert sched(25) == 0.25
+
+    def test_step_decay_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(0)
+        with pytest.raises(ValueError):
+            StepDecay(10, gamma=0.0)
+
+    def test_cosine_endpoints(self):
+        sched = CosineDecay(total_steps=100, floor=0.1)
+        np.testing.assert_allclose(sched(0), 1.0)
+        np.testing.assert_allclose(sched(100), 0.1)
+        np.testing.assert_allclose(sched(10_000), 0.1)  # clamps
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineDecay(total_steps=50)
+        values = [sched(s) for s in range(0, 51, 5)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_cosine_validation(self):
+        with pytest.raises(ValueError):
+            CosineDecay(0)
+        with pytest.raises(ValueError):
+            CosineDecay(10, floor=1.0)
+
+    def test_warmup_ramps_then_delegates(self):
+        sched = WarmupWrapper(ConstantLR(), warmup_steps=10)
+        assert sched(0) == pytest.approx(0.1)
+        assert sched(4) == pytest.approx(0.5)
+        assert sched(10) == 1.0
+        assert sched(100) == 1.0
+
+    def test_warmup_zero_steps(self):
+        sched = WarmupWrapper(StepDecay(10), warmup_steps=0)
+        assert sched(0) == 1.0
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.3, 0.0, 0.4])  # norm 0.5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(norm, 0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.0, 0.4])
+
+    def test_clips_dense(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_clips_sparse_parts(self):
+        p = Parameter(np.zeros((4, 1)), sparse=True)
+        p.add_sparse_grad(np.array([0]), np.array([[3.0]]))
+        p.add_sparse_grad(np.array([2]), np.array([[4.0]]))
+        clip_grad_norm([p], max_norm=1.0)
+        dense = p.densify_grad()
+        np.testing.assert_allclose(np.linalg.norm(dense), 1.0)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=5.0)
+        np.testing.assert_allclose(norm, 5.0)
+        # exactly at the limit: unchanged
+        np.testing.assert_allclose(a.grad, [3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)
+
+
+class TestTrainerIntegration:
+    def test_lr_schedule_applied(self, tiny_schema, tiny_dataset):
+        from repro.core import FVAE, FVAEConfig, Trainer
+
+        model = FVAE(tiny_schema, FVAEConfig(latent_dim=4, encoder_hidden=[8],
+                                             decoder_hidden=[8],
+                                             embedding_capacity=16, seed=0))
+        trainer = Trainer(model, lr=1e-2, lr_schedule=StepDecay(1, gamma=0.5))
+        trainer.fit(tiny_dataset, epochs=2, batch_size=3)
+        assert trainer.optimizer.lr < 1e-2  # decayed from the base lr
+
+    def test_clip_norm_trains(self, tiny_schema, tiny_dataset):
+        from repro.core import FVAE, FVAEConfig, Trainer
+
+        model = FVAE(tiny_schema, FVAEConfig(latent_dim=4, encoder_hidden=[8],
+                                             decoder_hidden=[8],
+                                             embedding_capacity=16, seed=0))
+        history = Trainer(model, lr=1e-2, clip_norm=0.5).fit(
+            tiny_dataset, epochs=2, batch_size=3)
+        assert np.isfinite(history.final_loss)

@@ -1,0 +1,283 @@
+"""Autograd engine: per-op gradient checks against finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor, as_tensor, no_grad
+from repro.nn.tensor import _unbroadcast
+
+
+def numerical_gradient(fn, param: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued ``fn`` w.r.t. ``param``."""
+    grad = np.zeros_like(param.data)
+    flat_param = param.data.ravel()
+    flat_grad = grad.ravel()
+    for i in range(flat_param.size):
+        original = flat_param[i]
+        flat_param[i] = original + eps
+        f_plus = fn().item()
+        flat_param[i] = original - eps
+        f_minus = fn().item()
+        flat_param[i] = original
+        flat_grad[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn, params: list[Parameter], tol: float = 1e-5) -> None:
+    for p in params:
+        p.zero_grad()
+    out = fn()
+    out.backward()
+    analytic = {id(p): p.densify_grad() for p in params}
+    for p in params:
+        numeric = numerical_gradient(fn, p)
+        err = np.abs(analytic[id(p)] - numeric).max()
+        assert err < tol, f"gradient mismatch {err:.2e} for {p!r}"
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(3, 4)))
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast_row(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(4,)))
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_sub(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        b = Parameter(rng.normal(size=(2, 3)))
+        check_gradients(lambda: (a - b * 2.0).sum(), [a, b])
+
+    def test_mul_broadcast_scalar_like(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        b = Parameter(rng.normal(size=(1, 3)))
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        b = Parameter(rng.normal(size=(2, 3)) + 3.0)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self, rng):
+        a = Parameter(np.abs(rng.normal(size=(4,))) + 0.5)
+        check_gradients(lambda: (a ** 3.0).sum(), [a])
+
+    def test_neg(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        check_gradients(lambda: (-a).sum(), [a])
+
+    def test_rsub_rdiv(self, rng):
+        a = Parameter(np.abs(rng.normal(size=(3,))) + 1.0)
+        check_gradients(lambda: (2.0 - a).sum() + (1.0 / a).sum(), [a])
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(4, 2)))
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_vector_matrix(self, rng):
+        v = Parameter(rng.normal(size=(4,)))
+        m = Parameter(rng.normal(size=(4, 3)))
+        check_gradients(lambda: (v @ m).sum(), [v, m])
+
+    def test_matrix_vector(self, rng):
+        m = Parameter(rng.normal(size=(3, 4)))
+        v = Parameter(rng.normal(size=(4,)))
+        check_gradients(lambda: (m @ v).sum(), [m, v])
+
+    def test_dot(self, rng):
+        a = Parameter(rng.normal(size=(5,)))
+        b = Parameter(rng.normal(size=(5,)))
+        check_gradients(lambda: a @ b, [a, b])
+
+    def test_3d_rejected(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)))
+        b = Tensor(rng.normal(size=(4, 2)))
+        with pytest.raises(ValueError):
+            __ = a @ b
+
+
+class TestNonlinearityGradients:
+    def test_tanh(self, rng):
+        a = Parameter(rng.normal(size=(3, 3)))
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_sigmoid(self, rng):
+        a = Parameter(rng.normal(size=(3, 3)) * 3.0)
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu(self, rng):
+        a = Parameter(rng.normal(size=(10,)) + 0.05)  # stay away from the kink
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_exp_log(self, rng):
+        a = Parameter(np.abs(rng.normal(size=(4,))) + 0.5)
+        check_gradients(lambda: (a.exp().log() * a.log()).sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Parameter(np.abs(rng.normal(size=(4,))) + 1.0)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        check_gradients(lambda: (a.sum(axis=0) ** 2.0).sum(), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        check_gradients(lambda: (a * a.sum(axis=1, keepdims=True)).sum(), [a])
+
+    def test_mean(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        check_gradients(lambda: (a.mean(axis=1) ** 2.0).sum(), [a])
+
+    def test_mean_all(self, rng):
+        a = Parameter(rng.normal(size=(6,)))
+        check_gradients(lambda: a.mean() * 3.0, [a])
+
+    def test_reshape(self, rng):
+        a = Parameter(rng.normal(size=(2, 6)))
+        check_gradients(lambda: (a.reshape(3, 4).tanh()).sum(), [a])
+
+    def test_transpose(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        b = Parameter(rng.normal(size=(2, 3)))
+        check_gradients(lambda: (a.T @ b).sum(), [a, b])
+
+    def test_getitem(self, rng):
+        a = Parameter(rng.normal(size=(5, 3)))
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda: (a[idx] ** 2.0).sum(), [a])
+
+
+class TestAutogradMechanics:
+    def test_backward_requires_scalar(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        out = a * 2.0
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_backward_with_seed_gradient(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        out = a * 2.0
+        out.backward(np.array([1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 4.0])
+
+    def test_backward_seed_shape_mismatch(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        with pytest.raises(ValueError):
+            (a * 1.0).backward(np.zeros(4))
+
+    def test_backward_on_non_grad_tensor(self):
+        t = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            t.sum().backward()
+
+    def test_grad_accumulates_across_backwards(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        (a.sum()).backward()
+        (a.sum()).backward()
+        np.testing.assert_allclose(a.grad, 2.0 * np.ones(3))
+
+    def test_diamond_graph(self, rng):
+        # y = (a + a) * a must propagate through both paths
+        a = Parameter(np.array([2.0]))
+        y = (a + a) * a
+        y.backward()
+        np.testing.assert_allclose(a.grad, [8.0])  # d(2a^2)/da = 4a
+
+    def test_no_grad_blocks_graph(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        with no_grad():
+            out = (a * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data
+
+    def test_intermediate_grads_freed(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        mid = a * 2.0
+        out = mid.sum()
+        out.backward()
+        assert mid.grad is None          # intermediate grads are freed
+        assert a.grad is not None        # leaf grads are kept
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_repr_distinguishes_parameter(self):
+        assert repr(Parameter(np.zeros(2))).startswith("Parameter")
+        assert "requires_grad" not in repr(Tensor(np.zeros(2)))
+        assert "requires_grad=True" in repr(Tensor(np.zeros(2), requires_grad=True))
+
+
+class TestUnbroadcast:
+    def test_no_op_when_shapes_match(self):
+        g = np.ones((3, 4))
+        assert _unbroadcast(g, (3, 4)).shape == (3, 4)
+
+    def test_sums_leading_axes(self):
+        g = np.ones((5, 3, 4))
+        assert _unbroadcast(g, (3, 4)).shape == (3, 4)
+        np.testing.assert_allclose(_unbroadcast(g, (3, 4)), 5.0)
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((3, 4))
+        out = _unbroadcast(g, (1, 4))
+        assert out.shape == (1, 4)
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_scalar_target(self):
+        g = np.ones((2, 2))
+        out = _unbroadcast(g, ())
+        assert out.shape == ()
+        assert out == 4.0
+
+
+class TestParameter:
+    def test_sparse_grad_parts_accumulate(self):
+        p = Parameter(np.zeros((4, 2)), sparse=True)
+        p.add_sparse_grad(np.array([0, 2]), np.ones((2, 2)))
+        p.add_sparse_grad(np.array([2]), np.ones((1, 2)))
+        dense = p.densify_grad()
+        np.testing.assert_allclose(dense[0], 1.0)
+        np.testing.assert_allclose(dense[2], 2.0)
+        np.testing.assert_allclose(dense[1], 0.0)
+
+    def test_zero_grad_clears_sparse_parts(self):
+        p = Parameter(np.zeros((4, 2)), sparse=True)
+        p.add_sparse_grad(np.array([1]), np.ones((1, 2)))
+        p.zero_grad()
+        assert p.sparse_grad_parts == []
+        assert p.grad is None
+
+    def test_densify_combines_dense_and_sparse(self):
+        p = Parameter(np.zeros((3, 2)), sparse=True)
+        p.grad = np.ones((3, 2))
+        p.add_sparse_grad(np.array([0]), np.ones((1, 2)))
+        dense = p.densify_grad()
+        np.testing.assert_allclose(dense[0], 2.0)
+        np.testing.assert_allclose(dense[1], 1.0)

@@ -1,0 +1,152 @@
+"""Data-construction pipeline: log streams and profile building."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import FieldSchema, FieldSpec, make_sc_like
+from repro.pipeline import LogEvent, ProfileBuilder, SyntheticLogStream
+
+
+@pytest.fixture(scope="module")
+def small_synthetic():
+    return make_sc_like(n_users=120, seed=0)
+
+
+class TestSyntheticLogStream:
+    def test_event_count_matches_weights(self, small_synthetic):
+        stream = SyntheticLogStream(small_synthetic, seed=0)
+        events = list(stream.events())
+        assert len(events) == stream.event_count()
+
+    def test_events_sorted_by_timestamp(self, small_synthetic):
+        stream = SyntheticLogStream(small_synthetic, duration_days=3, seed=0)
+        stamps = [e.timestamp for e in stream.events()]
+        assert stamps == sorted(stamps)
+        assert 0 <= min(stamps) and max(stamps) <= 3 * 86_400
+
+    def test_sources_are_fields(self, small_synthetic):
+        stream = SyntheticLogStream(small_synthetic, seed=0)
+        sources = {e.source for e in stream.events()}
+        assert sources == set(small_synthetic.dataset.field_names)
+
+    def test_invalid_duration(self, small_synthetic):
+        with pytest.raises(ValueError):
+            SyntheticLogStream(small_synthetic, duration_days=0)
+
+    def test_weights_positive(self, small_synthetic):
+        stream = SyntheticLogStream(small_synthetic, seed=0)
+        assert all(e.weight > 0 for e in stream.events())
+
+
+class TestProfileBuilder:
+    def schema(self):
+        return FieldSchema([FieldSpec("ch", 10), FieldSpec("tag", 20)])
+
+    def events(self):
+        return [
+            LogEvent(1.0, 0, "ch", 3, 1.0),
+            LogEvent(2.0, 0, "ch", 3, 2.0),       # same feature accumulates
+            LogEvent(3.0, 0, "tag", 7, 1.0),
+            LogEvent(4.0, 1, "tag", 8, 5.0),
+            LogEvent(5.0, 2, "unknown_source", 0, 1.0),   # skipped
+            LogEvent(6.0, 2, "tag", 999, 1.0),            # out of vocab, skipped
+        ]
+
+    def test_aggregation_and_skips(self):
+        builder = ProfileBuilder(self.schema(), top_k=8)
+        builder.ingest(self.events())
+        assert builder.events_processed == 4
+        assert builder.events_skipped == 2
+        dataset = builder.build()
+        ids, weights = dataset.field("ch").row(0)
+        np.testing.assert_array_equal(ids, [3])
+        np.testing.assert_allclose(weights, [3.0])
+
+    def test_top_k_truncation(self):
+        builder = ProfileBuilder(self.schema(), top_k=2)
+        events = [LogEvent(float(i), 0, "tag", i, float(i + 1))
+                  for i in range(5)]
+        builder.ingest(events)
+        ids, weights = builder.build().field("tag").row(0)
+        # keeps the two heaviest features (ids 3 and 4)
+        assert set(ids.tolist()) == {3, 4}
+
+    def test_per_field_top_k(self):
+        builder = ProfileBuilder(self.schema(), top_k={"ch": 1, "tag": 3})
+        events = [LogEvent(0.0, 0, "ch", i, float(i)) for i in range(4)] \
+            + [LogEvent(0.0, 0, "tag", i, float(i)) for i in range(4)]
+        builder.ingest(events)
+        dataset = builder.build()
+        assert dataset.field("ch").row_nnz()[0] == 1
+        assert dataset.field("tag").row_nnz()[0] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfileBuilder(self.schema(), top_k=0)
+        with pytest.raises(ValueError):
+            ProfileBuilder(self.schema(), half_life_days=0.0)
+        with pytest.raises(ValueError):
+            ProfileBuilder(self.schema()).build()   # no events yet
+
+    def test_explicit_user_count_pads_empty_rows(self):
+        builder = ProfileBuilder(self.schema())
+        builder.ingest([LogEvent(0.0, 0, "ch", 1, 1.0)])
+        dataset = builder.build(n_users=5)
+        assert dataset.n_users == 5
+        assert dataset.field("ch").row_nnz()[4] == 0
+
+    def test_decay_downweights_old_events(self):
+        builder = ProfileBuilder(self.schema(), half_life_days=1.0)
+        day = 86_400.0
+        builder.ingest_with_decay([
+            LogEvent(0.0, 0, "tag", 1, 1.0),        # 2 days old
+            LogEvent(2 * day, 0, "tag", 2, 1.0),    # fresh
+        ])
+        ids, weights = builder.build().field("tag").row(0)
+        by_id = dict(zip(ids.tolist(), weights.tolist()))
+        np.testing.assert_allclose(by_id[2], 1.0)
+        np.testing.assert_allclose(by_id[1], 0.25, rtol=1e-6)  # two half-lives
+
+    def test_decay_disabled_passthrough(self):
+        builder = ProfileBuilder(self.schema())
+        builder.ingest_with_decay([LogEvent(0.0, 0, "tag", 1, 1.0)])
+        __, weights = builder.build().field("tag").row(0)
+        np.testing.assert_allclose(weights, [1.0])
+
+
+class TestEndToEndPipeline:
+    def test_stream_to_profiles_recovers_dataset_structure(self, small_synthetic):
+        """logs → builder → dataset reproduces the source profiles' support."""
+        stream = SyntheticLogStream(small_synthetic, weight_noise=0.0, seed=0)
+        schema = small_synthetic.dataset.schema
+        builder = ProfileBuilder(schema, top_k=512)
+        builder.ingest(stream.events())
+        rebuilt = builder.build(n_users=small_synthetic.dataset.n_users)
+        for field in schema.names:
+            original = small_synthetic.dataset.field(field).to_dense(binary=True)
+            recovered = rebuilt.field(field).to_dense(binary=True)
+            np.testing.assert_allclose(recovered, original)
+
+    def test_top_k_produces_smaller_profiles(self, small_synthetic):
+        stream = SyntheticLogStream(small_synthetic, seed=0)
+        schema = small_synthetic.dataset.schema
+        builder = ProfileBuilder(schema, top_k=3)
+        builder.ingest(stream.events())
+        rebuilt = builder.build(n_users=small_synthetic.dataset.n_users)
+        assert rebuilt.stats().avg_features <= 3 * len(schema)
+
+    def test_built_profiles_train_a_model(self, small_synthetic):
+        from repro.core import FVAE, FVAEConfig
+
+        stream = SyntheticLogStream(small_synthetic, seed=0)
+        builder = ProfileBuilder(small_synthetic.dataset.schema, top_k=64)
+        builder.ingest(stream.events())
+        dataset = builder.build(n_users=small_synthetic.dataset.n_users)
+        model = FVAE(dataset.schema,
+                     FVAEConfig(latent_dim=8, encoder_hidden=[32],
+                                decoder_hidden=[32], embedding_capacity=64,
+                                seed=0))
+        model.fit(dataset, epochs=1, batch_size=64)
+        assert np.isfinite(model.history.final_loss)

@@ -1,0 +1,119 @@
+"""Evaluation tasks: reconstruction and tag prediction harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import PCAModel
+from repro.baselines.base import UserRepresentationModel
+from repro.tasks import evaluate_reconstruction, evaluate_tag_prediction
+from repro.tasks.reconstruction import _concat_positives
+
+
+class OracleModel(UserRepresentationModel):
+    """Scores exactly the user's own features: a perfect reconstructor."""
+
+    name = "Oracle"
+
+    def fit(self, dataset, **kw):
+        return self
+
+    def embed_users(self, dataset):
+        return np.zeros((dataset.n_users, 1))
+
+    def score_field(self, dataset, field):
+        return dataset.field(field).to_dense(binary=True)
+
+
+class AntiOracleModel(OracleModel):
+    name = "AntiOracle"
+
+    def score_field(self, dataset, field):
+        return -dataset.field(field).to_dense(binary=True)
+
+
+class TestReconstruction:
+    def test_oracle_gets_perfect_metrics(self, tiny_dataset):
+        result = evaluate_reconstruction(OracleModel(), tiny_dataset)
+        for name, metrics in result.per_field.items():
+            if metrics["n_users"]:
+                assert metrics["auc"] == 1.0
+        assert result.overall["auc"] == 1.0
+
+    def test_anti_oracle_gets_zero_auc(self, tiny_dataset):
+        result = evaluate_reconstruction(AntiOracleModel(), tiny_dataset)
+        assert result.overall["auc"] == 0.0
+
+    def test_row_format(self, tiny_dataset):
+        result = evaluate_reconstruction(OracleModel(), tiny_dataset)
+        row = result.row("auc")
+        assert "Overall" in row
+        assert set(tiny_dataset.field_names) <= set(row)
+
+    def test_concat_positives_matches_dense(self, tiny_dataset):
+        merged = _concat_positives(tiny_dataset)
+        np.testing.assert_allclose((merged.to_dense() > 0).astype(float),
+                                   tiny_dataset.to_dense(binary=True))
+
+    def test_real_model_runs(self, sc_split):
+        train, test = sc_split
+        model = PCAModel(latent_dim=8).fit(train)
+        result = evaluate_reconstruction(model, test)
+        assert 0.0 <= result.overall["auc"] <= 1.0
+        assert result.model_name == "PCA"
+
+
+class TestTagPrediction:
+    def test_cheating_oracle_perfect(self, tiny_dataset):
+        """An oracle holding the *true* labels (not the fold-in input) is
+        perfect — the blanked input alone cannot leak them (see the spy test)."""
+        truth = tiny_dataset
+
+        class CheatingOracle(OracleModel):
+            def score_field(self, dataset, field):
+                return truth.field(field).to_dense(binary=True)
+
+        result = evaluate_tag_prediction(CheatingOracle(), tiny_dataset,
+                                         target_field="tag", rng=0)
+        assert result.auc == 1.0 and result.map == 1.0
+
+    def test_blind_oracle_is_random(self, tiny_dataset):
+        """Scoring the fold-in input itself sees only zeros: AUC collapses to
+        chance, proving the protocol hides the target field."""
+        result = evaluate_tag_prediction(OracleModel(), tiny_dataset,
+                                         target_field="tag", rng=0)
+        assert result.auc == 0.5
+
+    def test_unknown_field(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            evaluate_tag_prediction(OracleModel(), tiny_dataset,
+                                    target_field="missing")
+
+    def test_model_never_sees_target(self, sc_split):
+        """The fold-in input passed to the model has no tag features."""
+        train, test = sc_split
+        seen = {}
+
+        class SpyModel(OracleModel):
+            def score_field(self, dataset, field):
+                seen["nnz"] = dataset.field(field).nnz
+                return np.zeros((dataset.n_users, dataset.schema[field].vocab_size))
+
+        evaluate_tag_prediction(SpyModel(), test, rng=0)
+        assert seen["nnz"] == 0
+
+    def test_deterministic_negatives(self, sc_split):
+        train, test = sc_split
+        model = PCAModel(latent_dim=8).fit(train)
+        a = evaluate_tag_prediction(model, test, rng=5)
+        b = evaluate_tag_prediction(model, test, rng=5)
+        assert a.auc == b.auc and a.map == b.map
+
+    def test_trained_fvae_beats_pca(self, trained_fvae, sc_split):
+        """The paper's headline ordering at miniature scale."""
+        train, test = sc_split
+        pca = PCAModel(latent_dim=trained_fvae.config.latent_dim).fit(train)
+        fvae_result = evaluate_tag_prediction(trained_fvae, test, rng=0)
+        pca_result = evaluate_tag_prediction(pca, test, rng=0)
+        assert fvae_result.auc > pca_result.auc

@@ -1,0 +1,83 @@
+"""Utility modules: RNG plumbing and timers."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, new_rng, spawn_rngs, timed
+
+
+class TestRng:
+    def test_new_rng_from_seed_deterministic(self):
+        assert new_rng(42).random() == new_rng(42).random()
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_new_rng_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+    def test_spawn_count(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+
+    def test_spawn_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic(self):
+        a1, __ = spawn_rngs(7, 2)
+        a2, __ = spawn_rngs(7, 2)
+        assert a1.random() == a2.random()
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first
+        assert timer.laps == 2
+
+    def test_double_start_rejected(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0 and timer.laps == 0
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+    def test_timed_contextmanager(self):
+        with timed() as elapsed:
+            time.sleep(0.01)
+        assert elapsed() >= 0.01

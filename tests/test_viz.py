@@ -1,0 +1,100 @@
+"""t-SNE, silhouette, and table/series rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz import TSNE, format_series, format_table, silhouette_score, \
+    topic_separation_report
+
+
+def two_blobs(n_per: int = 40, dim: int = 8, gap: float = 8.0,
+              seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0, 1.0, size=(n_per, dim))
+    b = rng.normal(gap, 1.0, size=(n_per, dim))
+    labels = np.array([0] * n_per + [1] * n_per)
+    return np.concatenate([a, b]), labels
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        x, __ = two_blobs(n_per=25)
+        out = TSNE(n_iter=100, perplexity=10).fit_transform(x)
+        assert out.shape == (50, 2)
+        assert np.isfinite(out).all()
+
+    def test_separated_blobs_stay_separated(self):
+        x, labels = two_blobs(n_per=40, gap=10.0)
+        out = TSNE(n_iter=250, perplexity=15, seed=0).fit_transform(x)
+        assert silhouette_score(out, labels) > 0.5
+
+    def test_deterministic_given_seed(self):
+        x, __ = two_blobs(n_per=20)
+        a = TSNE(n_iter=60, perplexity=8, seed=3).fit_transform(x)
+        b = TSNE(n_iter=60, perplexity=8, seed=3).fit_transform(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((2, 3)))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            TSNE(n_components=0)
+        with pytest.raises(ValueError):
+            TSNE(perplexity=1.0)
+
+    def test_output_centered(self):
+        x, __ = two_blobs(n_per=20)
+        out = TSNE(n_iter=60, perplexity=8).fit_transform(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+
+
+class TestSilhouette:
+    def test_perfect_separation_close_to_one(self):
+        x = np.array([[0.0, 0], [0.1, 0], [10.0, 0], [10.1, 0]])
+        labels = np.array([0, 0, 1, 1])
+        assert silhouette_score(x, labels) > 0.9
+
+    def test_mixed_clusters_low(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 2))
+        labels = rng.integers(0, 2, size=60)
+        assert silhouette_score(x, labels) < 0.2
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(4))
+
+
+class TestSeparationReport:
+    def test_keys_and_sanity(self):
+        x, labels = two_blobs(n_per=30, gap=10.0, dim=2)
+        report = topic_separation_report(x, labels)
+        assert set(report) == {"silhouette", "intra_cluster_spread",
+                               "inter_centroid_distance", "separation_ratio"}
+        assert report["separation_ratio"] > 1.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "auc"], [["PCA", 0.91], ["FVAE", 0.97]],
+                           title="Table II")
+        lines = out.splitlines()
+        assert lines[0] == "Table II"
+        assert "PCA" in out and "0.9700" in out
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_format_series_includes_sparkline(self):
+        out = format_series([1, 2, 3], {"auc": [0.5, 0.7, 0.9]}, x_label="r")
+        assert "auc" in out
+        assert any(ch in out for ch in "▁▂▃▄▅▆▇█")
+
+    def test_format_series_handles_nan(self):
+        out = format_series([1, 2], {"m": [float("nan"), 1.0]})
+        assert "?" in out
