@@ -12,6 +12,8 @@ Public API tour:
 * :mod:`repro.lookalike` — embedding store, serving, audience expansion, and
   the simulated online A/B test.
 * :mod:`repro.nn` — the NumPy autograd substrate everything runs on.
+* :mod:`repro.obs` — telemetry: metrics registry, span tracer, JSONL and
+  Prometheus exporters (``with obs.session() as t: model.fit(...)``).
 * :mod:`repro.hashing`, :mod:`repro.sampling`, :mod:`repro.metrics`,
   :mod:`repro.distributed`, :mod:`repro.viz` — supporting subsystems.
 
@@ -25,6 +27,7 @@ Quickstart::
     print(evaluate_tag_prediction(model, test))
 """
 
+from repro import obs
 from repro.core import FVAE, FVAEConfig, Trainer
 from repro.data import (FieldSchema, FieldSpec, MultiFieldDataset, get_dataset,
                         make_kd_like, make_qb_like, make_sc_like)
@@ -38,6 +41,6 @@ __all__ = [
     "FieldSpec", "FieldSchema", "MultiFieldDataset",
     "make_sc_like", "make_kd_like", "make_qb_like", "get_dataset",
     "evaluate_reconstruction", "evaluate_tag_prediction",
-    "LookalikeSystem", "OnlineABTest",
+    "LookalikeSystem", "OnlineABTest", "obs",
     "__version__",
 ]

@@ -7,6 +7,7 @@ Commands mirror the deployment workflow of §IV-D at example scale:
 * ``evaluate``     — tag prediction / reconstruction with a saved model
 * ``embed``        — write user embeddings from a saved model to .npz
 * ``benchmark``    — quick FVAE-vs-Mult-VAE throughput comparison
+* ``report``       — render a telemetry JSONL dump (``train --telemetry``)
 """
 
 from __future__ import annotations
@@ -44,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--lr", type=float, default=2e-3)
     p_train.add_argument("--sampling-rate", type=float, default=1.0)
     p_train.add_argument("--beta", type=float, default=0.2)
+    p_train.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="record training telemetry and write a JSONL "
+                              "event dump to PATH (render with 'repro report')")
 
     p_eval = sub.add_parser("evaluate", help="evaluate a saved model")
     add_dataset_args(p_eval)
@@ -60,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
                              help="FVAE vs Mult-VAE training throughput")
     add_dataset_args(p_bench)
     p_bench.add_argument("--epochs", type=int, default=2)
+
+    p_report = sub.add_parser("report",
+                              help="render a telemetry JSONL dump as tables")
+    p_report.add_argument("--input", required=True,
+                          help="JSONL file written by 'train --telemetry' "
+                               "or Telemetry.dump_jsonl")
+    p_report.add_argument("--format", choices=("table", "prometheus"),
+                          default="table",
+                          help="summary tables (default) or a Prometheus-"
+                               "style text snapshot")
 
     return parser
 
@@ -81,6 +95,7 @@ def _cmd_stats(args, out) -> int:
 
 
 def _cmd_train(args, out) -> int:
+    from repro import obs
     from repro.core import FVAE, FVAEConfig, save_fvae
 
     synthetic = _load_dataset(args)
@@ -90,8 +105,18 @@ def _cmd_train(args, out) -> int:
                         beta=args.beta, sampling_rate=args.sampling_rate,
                         seed=args.seed)
     model = FVAE(synthetic.dataset.schema, config)
-    model.fit(synthetic.dataset, epochs=args.epochs,
-              batch_size=args.batch_size, lr=args.lr)
+    if args.telemetry:
+        with obs.session() as telemetry:
+            model.fit(synthetic.dataset, epochs=args.epochs,
+                      batch_size=args.batch_size, lr=args.lr,
+                      callbacks=[obs.TelemetryCallback()])
+        events = telemetry.dump_jsonl(
+            args.telemetry, run_id=f"train-{args.dataset}-seed{args.seed}")
+        print(f"telemetry: {events} events written to {args.telemetry}",
+              file=out)
+    else:
+        model.fit(synthetic.dataset, epochs=args.epochs,
+                  batch_size=args.batch_size, lr=args.lr)
     save_fvae(model, args.output)
     history = model.history
     print(f"trained {args.epochs} epochs in {history.total_time:.1f}s "
@@ -146,12 +171,24 @@ def _cmd_benchmark(args, out) -> int:
     return 0
 
 
+def _cmd_report(args, out) -> int:
+    from repro.obs import events_to_prometheus, load_jsonl, render_events
+
+    events = load_jsonl(args.input)
+    if args.format == "prometheus":
+        print(events_to_prometheus(events), file=out, end="")
+    else:
+        print(render_events(events), file=out)
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "embed": _cmd_embed,
     "benchmark": _cmd_benchmark,
+    "report": _cmd_report,
 }
 
 

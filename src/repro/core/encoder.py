@@ -35,12 +35,13 @@ class HashedEmbeddingBag(Module):
     """
 
     def __init__(self, dim: int, capacity: int = 1024, init_std: float = 0.01,
-                 rng: np.random.Generator | int | None = None) -> None:
+                 rng: np.random.Generator | int | None = None,
+                 name: str | None = None) -> None:
         super().__init__()
         self.dim = dim
         self.init_std = init_std
         self._rng = new_rng(rng)
-        self.table = DynamicHashTable()
+        self.table = DynamicHashTable(name=name)
         self.weight = Parameter(self._rng.normal(0.0, init_std, size=(capacity, dim)),
                                 name="weight", sparse=True)
 
@@ -159,7 +160,8 @@ class FieldAwareEncoder(Module):
 
         self._bags: dict[str, HashedEmbeddingBag] = {}
         for spec in schema:
-            bag = HashedEmbeddingBag(hidden[0], capacity=capacity, rng=rng)
+            bag = HashedEmbeddingBag(hidden[0], capacity=capacity, rng=rng,
+                                     name=spec.name)
             self.register_module(f"bag_{spec.name}", bag)
             self._bags[spec.name] = bag
         self.first_bias = Parameter(np.zeros(hidden[0]), name="first_bias")

@@ -105,7 +105,8 @@ class FVAE(Module, UserRepresentationModel):
                 out[spec.name] = np.sort(ids)
                 continue
             rate = cfg.sampling_rate if (spec.sample and self.training) else 1.0
-            out[spec.name] = select_candidates(fb, rate, self._sampler, self._rng)
+            out[spec.name] = select_candidates(fb, rate, self._sampler, self._rng,
+                                               field=spec.name)
         return out
 
     def elbo_components(self, batch: UserBatch, beta: float | None = None,

@@ -5,22 +5,46 @@ The trainer is deliberately model-agnostic: anything exposing
 ``parameters()`` can be trained.  Timing is tracked per epoch and cumulatively
 so the speed benchmarks (Table V, Fig 6) read throughput straight from the
 training history.
+
+Observability: every batch emits per-stage spans (``batch_iter`` / ``forward``
+/ ``backward`` / ``clip`` / ``optimizer_step``) through :mod:`repro.obs` —
+free when no telemetry session is installed — and ``fit`` drives an optional
+list of callbacks (see :class:`repro.obs.callbacks.TrainerCallback`).
+Progress output goes through the ``repro.core.trainer`` logger;
+``verbose=True`` attaches a stream handler as a convenience.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.data.dataset import MultiFieldDataset
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.schedules import clip_grad_norm
+from repro.obs import runtime as obs
 from repro.utils.rng import new_rng
 from repro.utils.timer import Timer
 
 __all__ = ["EpochRecord", "TrainHistory", "Trainer"]
+
+logger = logging.getLogger(__name__)
+
+_BATCH_DONE = object()  # sentinel: batch iterator exhausted
+
+
+def _attach_verbose_handler() -> None:
+    """Attach a plain stream handler for ``verbose=True`` runs (idempotent)."""
+    if not any(getattr(h, "_repro_verbose", False) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        handler._repro_verbose = True
+        logger.addHandler(handler)
+    if logger.getEffectiveLevel() > logging.INFO:
+        logger.setLevel(logging.INFO)
 
 
 @dataclass
@@ -36,6 +60,8 @@ class EpochRecord:
     cumulative_time: float
     users_per_second: float
     eval_metrics: dict[str, float] = field(default_factory=dict)
+    n_batches: int = 0
+    interrupted: bool = False  # epoch cut short by the max_seconds budget
 
 
 @dataclass
@@ -54,11 +80,18 @@ class TrainHistory:
 
     @property
     def throughput(self) -> float:
-        """Mean training throughput in users/second."""
-        if not self.epochs or self.total_time == 0:
+        """Mean training throughput in users/second.
+
+        Epochs that saw no batches (empty dataset) carry ``nan`` rates and are
+        excluded; with no measurable epoch at all the throughput is ``nan``.
+        """
+        measured = [r for r in self.epochs
+                    if np.isfinite(r.users_per_second) and r.epoch_time > 0]
+        total_time = sum(r.epoch_time for r in measured)
+        if total_time <= 0:
             return float("nan")
-        total_users = sum(r.users_per_second * r.epoch_time for r in self.epochs)
-        return total_users / self.total_time
+        total_users = sum(r.users_per_second * r.epoch_time for r in measured)
+        return total_users / total_time
 
     def series(self, key: str) -> list[float]:
         """Column view over epochs: ``loss``, ``kl``, ``cumulative_time``, …"""
@@ -103,42 +136,78 @@ class Trainer:
             early_stopping_metric: str | None = None,
             patience: int = 3,
             max_seconds: float | None = None,
+            callbacks: Sequence | None = None,
             verbose: bool = False) -> TrainHistory:
         """Train for up to ``epochs`` epochs (or until ``max_seconds`` elapse).
 
         ``eval_fn`` is called every ``eval_every`` epochs (training mode is
         restored afterwards); when ``early_stopping_metric`` names one of its
         keys, training stops after ``patience`` epochs without improvement.
+        The ``max_seconds`` budget is checked after every batch, so long
+        epochs stop promptly; a cut-short epoch is still recorded (with
+        ``interrupted=True`` and its true ``n_batches``).  ``callbacks`` are
+        driven through the :class:`~repro.obs.callbacks.TrainerCallback`
+        hooks.
         """
         if epochs <= 0:
             raise ValueError(f"epochs must be positive: {epochs}")
         rng = new_rng(rng)
+        callbacks = list(callbacks or ())
+        if verbose:
+            _attach_verbose_handler()
         history = TrainHistory()
         timer = Timer()
         step = getattr(self.model, "_step", 0)
         best_metric = -np.inf
         since_best = 0
 
+        for cb in callbacks:
+            cb.on_train_start(self, dataset)
+
+        budget_exhausted = False
         for epoch in range(epochs):
             self.model.train()
+            for cb in callbacks:
+                cb.on_epoch_start(self, epoch)
             losses, recons, kls, betas = [], [], [], []
             n_seen = 0
+            n_batches = 0
+            interrupted = False
             timer.start()
-            for batch in dataset.iter_batches(batch_size, shuffle=True, rng=rng):
-                self.optimizer.zero_grad()
-                loss, diag = self.model.loss_on_batch(batch, step)
-                loss.backward()
-                if self.clip_norm is not None:
-                    clip_grad_norm(self.optimizer.params, self.clip_norm)
-                if self.lr_schedule is not None:
-                    self.optimizer.lr = self.base_lr * self.lr_schedule(step)
-                self.optimizer.step()
-                step += 1
-                n_seen += batch.n_users
-                losses.append(diag.get("loss", loss.item()))
-                recons.append(diag.get("recon", float("nan")))
-                kls.append(diag.get("kl", float("nan")))
-                betas.append(diag.get("beta", float("nan")))
+            with obs.span("epoch"):
+                batches = dataset.iter_batches(batch_size, shuffle=True, rng=rng)
+                while True:
+                    with obs.span("batch_iter"):
+                        batch = next(batches, _BATCH_DONE)
+                    if batch is _BATCH_DONE:
+                        break
+                    with obs.span("forward"):
+                        self.optimizer.zero_grad()
+                        loss, diag = self.model.loss_on_batch(batch, step)
+                    with obs.span("backward"):
+                        loss.backward()
+                    if self.clip_norm is not None:
+                        with obs.span("clip"):
+                            clip_grad_norm(self.optimizer.params, self.clip_norm)
+                    with obs.span("optimizer_step"):
+                        if self.lr_schedule is not None:
+                            self.optimizer.lr = self.base_lr * self.lr_schedule(step)
+                        self.optimizer.step()
+                    step += 1
+                    n_batches += 1
+                    n_seen += batch.n_users
+                    losses.append(diag.get("loss", loss.item()))
+                    recons.append(diag.get("recon", float("nan")))
+                    kls.append(diag.get("kl", float("nan")))
+                    betas.append(diag.get("beta", float("nan")))
+                    obs.count("trainer.batches")
+                    obs.count("trainer.users", batch.n_users)
+                    for cb in callbacks:
+                        cb.on_batch_end(self, epoch, step, losses[-1], diag)
+                    if max_seconds is not None and timer.current >= max_seconds:
+                        interrupted = True
+                        budget_exhausted = True
+                        break
             epoch_time = timer.stop()
 
             record = EpochRecord(
@@ -149,10 +218,15 @@ class Trainer:
                 beta=betas[-1] if betas else float("nan"),
                 epoch_time=epoch_time,
                 cumulative_time=timer.elapsed,
-                users_per_second=n_seen / epoch_time if epoch_time > 0 else float("inf"),
+                users_per_second=(n_seen / epoch_time
+                                  if n_batches > 0 and epoch_time > 0
+                                  else float("nan")),
+                n_batches=n_batches,
+                interrupted=interrupted,
             )
 
-            if eval_fn is not None and (epoch + 1) % eval_every == 0:
+            if eval_fn is not None and (epoch + 1) % eval_every == 0 \
+                    and not interrupted:
                 was_training = self.model.training
                 self.model.eval()
                 record.eval_metrics = dict(eval_fn())
@@ -160,11 +234,17 @@ class Trainer:
                     self.model.train()
 
             history.epochs.append(record)
-            if verbose:
+            for cb in callbacks:
+                cb.on_epoch_end(self, record)
+            if logger.isEnabledFor(logging.INFO):
                 extra = " ".join(f"{k}={v:.4f}" for k, v in record.eval_metrics.items())
-                print(f"[epoch {epoch}] loss={record.loss:.4f} kl={record.kl:.4f} "
-                      f"time={record.cumulative_time:.2f}s {extra}")
+                flag = " (interrupted)" if interrupted else ""
+                logger.info("[epoch %d] loss=%.4f kl=%.4f time=%.2fs %s%s",
+                            epoch, record.loss, record.kl,
+                            record.cumulative_time, extra, flag)
 
+            if budget_exhausted:
+                break
             if early_stopping_metric and record.eval_metrics:
                 current = record.eval_metrics.get(early_stopping_metric)
                 if current is None:
@@ -180,4 +260,6 @@ class Trainer:
                 break
 
         self.model.eval()
+        for cb in callbacks:
+            cb.on_train_end(self, history)
         return history

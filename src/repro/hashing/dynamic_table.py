@@ -17,6 +17,8 @@ from typing import Hashable, Iterable, Iterator
 
 import numpy as np
 
+from repro.obs import runtime as obs
+
 __all__ = ["DynamicHashTable"]
 
 
@@ -29,11 +31,16 @@ class DynamicHashTable:
         When True the table refuses to grow; unknown ids map to ``-1``
         (callers typically drop them).  Inference-time tables are frozen so
         serving never mutates training state.
+    name:
+        Optional label (e.g. the field name) attached to the table's
+        telemetry: ``hash_table.size`` / ``hash_table.load_factor`` gauges
+        and the ``hash_table.grows`` counter.
     """
 
-    def __init__(self, frozen: bool = False) -> None:
+    def __init__(self, frozen: bool = False, name: str | None = None) -> None:
         self._index: dict[Hashable, int] = {}
         self.frozen = frozen
+        self.name = name
         self.grows = 0  # number of ids inserted, for instrumentation
 
     def __len__(self) -> int:
@@ -50,6 +57,30 @@ class DynamicHashTable:
         """Number of distinct ids currently stored."""
         return len(self._index)
 
+    @property
+    def load_factor(self) -> float:
+        """Occupancy against the estimated CPython dict slot allocation.
+
+        CPython dicts resize once more than 2/3 of their (power-of-two) slot
+        table is used; the estimate below reconstructs the smallest such table
+        that holds ``size`` entries, so the value cycles in (1/3, 2/3] as the
+        table grows.
+        """
+        used = len(self._index)
+        if used == 0:
+            return 0.0
+        slots = 8
+        while used > (2 * slots) // 3:
+            slots *= 2
+        return used / slots
+
+    def _report(self, inserted: int) -> None:
+        """Push grow/size telemetry after ``inserted`` new ids (obs installed)."""
+        label = self.name or "anon"
+        obs.count("hash_table.grows", inserted, table=label)
+        obs.gauge_set("hash_table.size", len(self._index), table=label)
+        obs.gauge_set("hash_table.load_factor", self.load_factor, table=label)
+
     def lookup_one(self, key: Hashable) -> int:
         """Map a single id to its row, inserting it if the table may grow."""
         row = self._index.get(key)
@@ -60,6 +91,8 @@ class DynamicHashTable:
         row = len(self._index)
         self._index[key] = row
         self.grows += 1
+        if obs.enabled():
+            self._report(1)
         return row
 
     def lookup(self, keys: Iterable[Hashable]) -> np.ndarray:
@@ -72,14 +105,19 @@ class DynamicHashTable:
         if self.frozen:
             out = np.fromiter((index.get(k, -1) for k in keys), dtype=np.int64)
             return out
+        inserted = 0
         result = []
         for key in keys:
             row = index.get(key)
             if row is None:
                 row = len(index)
                 index[key] = row
-                self.grows += 1
+                inserted += 1
             result.append(row)
+        if inserted:
+            self.grows += inserted
+            if obs.enabled():
+                self._report(inserted)
         return np.asarray(result, dtype=np.int64)
 
     def freeze(self) -> "DynamicHashTable":
@@ -99,6 +137,6 @@ class DynamicHashTable:
         return self._index.items()
 
     def copy(self) -> "DynamicHashTable":
-        clone = DynamicHashTable(frozen=self.frozen)
+        clone = DynamicHashTable(frozen=self.frozen, name=self.name)
         clone._index = dict(self._index)
         return clone

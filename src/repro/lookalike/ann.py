@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import runtime as obs
 from repro.utils.rng import new_rng
 
 __all__ = ["LSHIndex"]
@@ -68,6 +69,7 @@ class LSHIndex:
             buckets = self._buckets[table]
             for idx, key in enumerate(keys[:, table]):
                 buckets.setdefault(int(key), []).append(idx)
+        obs.gauge_set("lsh.size", vectors.shape[0])
         return self
 
     @property
@@ -94,18 +96,21 @@ class LSHIndex:
         """
         if k <= 0:
             raise ValueError(f"k must be positive: {k}")
-        query = np.asarray(query, dtype=np.float64).ravel()
-        candidate_idx = self.candidates(query)
-        if candidate_idx.size < k and fallback_to_exact:
-            candidate_idx = np.arange(self.size)
-        if candidate_idx.size == 0:
-            return np.empty(0, dtype=np.int64)
-        vectors = self._vectors[candidate_idx]
-        d2 = np.sum((vectors - query) ** 2, axis=1)
-        top = min(k, candidate_idx.size)
-        best = np.argpartition(d2, top - 1)[:top]
-        order = np.argsort(d2[best])
-        return candidate_idx[best[order]]
+        with obs.latency("lsh.query_seconds"):
+            query = np.asarray(query, dtype=np.float64).ravel()
+            candidate_idx = self.candidates(query)
+            obs.observe("lsh.candidates", candidate_idx.size)
+            if candidate_idx.size < k and fallback_to_exact:
+                candidate_idx = np.arange(self.size)
+                obs.count("lsh.exact_fallbacks")
+            if candidate_idx.size == 0:
+                return np.empty(0, dtype=np.int64)
+            vectors = self._vectors[candidate_idx]
+            d2 = np.sum((vectors - query) ** 2, axis=1)
+            top = min(k, candidate_idx.size)
+            best = np.argpartition(d2, top - 1)[:top]
+            order = np.argsort(d2[best])
+            return candidate_idx[best[order]]
 
     def recall_at_k(self, queries: np.ndarray, k: int) -> float:
         """Fraction of exact top-``k`` neighbours the index retrieves."""

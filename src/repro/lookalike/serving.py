@@ -7,6 +7,7 @@ from typing import Hashable
 import numpy as np
 
 from repro.lookalike.store import EmbeddingStore, LRUCache
+from repro.obs import runtime as obs
 
 __all__ = ["ServingProxy"]
 
@@ -17,28 +18,39 @@ class ServingProxy:
     Lookup order mirrors the paper's online module: high-performance cache
     first, bulk store second, and — when a model and featurizer are attached —
     on-the-fly inference for users missing from both (freshly active users).
+
+    With a telemetry session installed every lookup lands in the
+    ``serving.lookup_seconds`` latency histogram and a ``serving.lookups``
+    counter labelled by where the embedding came from
+    (``cache``/``store``/``inferred``/``miss``).
     """
 
     def __init__(self, store: EmbeddingStore, cache_capacity: int = 10000,
                  infer_fn=None) -> None:
         self.store = store
-        self.cache = LRUCache(cache_capacity)
+        self.cache = LRUCache(cache_capacity, name="serving")
         self._infer_fn = infer_fn
         self.inferences = 0
 
     def get_embedding(self, user_id: Hashable) -> np.ndarray | None:
         """Return the user's embedding, or ``None`` when it cannot be produced."""
-        vec = self.cache.get(user_id)
-        if vec is not None:
-            return vec
-        vec = self.store.get(user_id)
-        if vec is None and self._infer_fn is not None:
-            vec = self._infer_fn(user_id)
-            self.inferences += 1
-            if vec is not None:
-                self.store.put(user_id, vec)
-        if vec is not None:
-            self.cache.put(user_id, vec)
+        with obs.latency("serving.lookup_seconds"):
+            source = "cache"
+            vec = self.cache.get(user_id)
+            if vec is None:
+                vec = self.store.get(user_id)
+                source = "store"
+                if vec is None and self._infer_fn is not None:
+                    vec = self._infer_fn(user_id)
+                    self.inferences += 1
+                    source = "inferred"
+                    if vec is not None:
+                        self.store.put(user_id, vec)
+                if vec is not None:
+                    self.cache.put(user_id, vec)
+                else:
+                    source = "miss"
+            obs.count("serving.lookups", source=source)
         return vec
 
     def get_embeddings(self, user_ids) -> np.ndarray:

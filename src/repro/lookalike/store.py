@@ -14,6 +14,8 @@ from typing import Hashable, Iterable, Iterator
 
 import numpy as np
 
+from repro.obs import runtime as obs
+
 __all__ = ["EmbeddingStore", "LRUCache"]
 
 
@@ -93,16 +95,21 @@ class EmbeddingStore:
 class LRUCache:
     """Bounded LRU cache in front of a store (the Redis stand-in).
 
-    Tracks hits and misses so serving benchmarks can report hit rate.
+    Tracks hits and misses so serving benchmarks can report hit rate; when a
+    telemetry session is installed every lookup also updates the
+    ``cache.hits`` / ``cache.misses`` counters (labelled with ``name``), which
+    therefore reconcile exactly with :attr:`hit_rate` over the session.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, name: str = "lru") -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
+        self.name = name
         self._entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -111,9 +118,11 @@ class LRUCache:
         vec = self._entries.get(key)
         if vec is None:
             self.misses += 1
+            obs.count("cache.misses", cache=self.name)
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        obs.count("cache.hits", cache=self.name)
         return vec
 
     def put(self, key: Hashable, vector: np.ndarray) -> None:
@@ -122,6 +131,8 @@ class LRUCache:
         self._entries[key] = vector
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.count("cache.evictions", cache=self.name)
 
     @property
     def hit_rate(self) -> float:

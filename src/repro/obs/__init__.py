@@ -1,0 +1,41 @@
+"""``repro.obs`` — unified telemetry: metrics registry, span tracer, exporters.
+
+The observability layer behind the paper's efficiency analysis (Table V,
+Figs 6/9/10).  Instrumentation across ``core``/``hashing``/``sampling``/
+``lookalike`` is default-on but free until a session is installed::
+
+    from repro import obs
+
+    with obs.session() as telemetry:
+        model.fit(dataset, epochs=5)
+
+    print(obs.render_report(telemetry))      # per-stage time tree + metrics
+    telemetry.dump_jsonl("run.jsonl")        # replayable event log
+    print(telemetry.to_prometheus())         # scrapeable text snapshot
+
+``python -m repro report --input run.jsonl`` renders the same report from a
+dump.  Because this package is imported from everywhere, it may only import
+leaf modules (numpy/stdlib-only, e.g. ``repro.viz.tables``) — never
+``core``/``hashing``/``sampling``/``lookalike``.
+"""
+
+from repro.obs.callbacks import TelemetryCallback, TrainerCallback
+from repro.obs.exporters import (JsonlWriter, dump_jsonl, events_to_prometheus,
+                                 load_jsonl, to_prometheus)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import render_events, render_report
+from repro.obs.runtime import (Telemetry, count, current, enabled, gauge_set,
+                               install, latency, observe, session, span,
+                               uninstall)
+from repro.obs.trace import SpanNode, SpanTracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "SpanNode", "SpanTracer",
+    "Telemetry", "install", "uninstall", "current", "enabled", "session",
+    "count", "gauge_set", "observe", "span", "latency",
+    "JsonlWriter", "dump_jsonl", "load_jsonl", "to_prometheus",
+    "events_to_prometheus",
+    "render_events", "render_report",
+    "TrainerCallback", "TelemetryCallback",
+]

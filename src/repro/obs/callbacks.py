@@ -1,0 +1,83 @@
+"""Trainer callback protocol plus the telemetry-recording implementation.
+
+:class:`~repro.core.trainer.Trainer.fit` drives a list of callbacks through
+four hooks (duck-typed — any object with the methods works):
+
+* ``on_train_start(trainer, dataset)`` / ``on_train_end(trainer, history)``
+* ``on_epoch_start(trainer, epoch)``
+* ``on_batch_end(trainer, epoch, step, loss, diagnostics)``
+* ``on_epoch_end(trainer, record)``
+
+:class:`TelemetryCallback` is the stock implementation: it mirrors epoch
+records into the installed metrics registry and (optionally) streams one
+JSONL event per epoch through a :class:`~repro.obs.exporters.JsonlWriter`, so
+long runs leave an inspectable trail even if they crash mid-way.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import runtime as obs
+from repro.obs.exporters import JsonlWriter
+
+__all__ = ["TrainerCallback", "TelemetryCallback"]
+
+
+class TrainerCallback:
+    """No-op base class; subclass and override the hooks you need."""
+
+    def on_train_start(self, trainer, dataset) -> None:
+        pass
+
+    def on_epoch_start(self, trainer, epoch: int) -> None:
+        pass
+
+    def on_batch_end(self, trainer, epoch: int, step: int, loss: float,
+                     diagnostics: dict) -> None:
+        pass
+
+    def on_epoch_end(self, trainer, record) -> None:
+        pass
+
+    def on_train_end(self, trainer, history) -> None:
+        pass
+
+
+class TelemetryCallback(TrainerCallback):
+    """Record per-epoch training metrics into the installed registry.
+
+    Parameters
+    ----------
+    event_writer:
+        Optional JSONL stream (or path) that receives one ``epoch`` event per
+        completed epoch and a final ``train_end`` event.
+    """
+
+    def __init__(self, event_writer: JsonlWriter | str | None = None) -> None:
+        if isinstance(event_writer, str):
+            event_writer = JsonlWriter(event_writer)
+        self.events = event_writer
+
+    def on_epoch_end(self, trainer, record) -> None:
+        obs.count("trainer.epochs")
+        for key in ("loss", "kl", "recon", "beta", "users_per_second"):
+            value = getattr(record, key)
+            if not math.isnan(value):
+                obs.gauge_set(f"trainer.{key}", value)
+        if self.events is not None:
+            self.events.emit("epoch", epoch=record.epoch, loss=record.loss,
+                             kl=record.kl, recon=record.recon,
+                             beta=record.beta, epoch_time=record.epoch_time,
+                             n_batches=record.n_batches,
+                             interrupted=record.interrupted,
+                             users_per_second=record.users_per_second,
+                             eval_metrics=record.eval_metrics)
+
+    def on_train_end(self, trainer, history) -> None:
+        if self.events is not None:
+            self.events.emit("train_end", epochs=len(history.epochs),
+                             total_time=history.total_time,
+                             final_loss=history.final_loss,
+                             throughput=history.throughput)
+            self.events.close()

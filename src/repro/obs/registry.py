@@ -1,0 +1,213 @@
+"""Metrics registry: counters, gauges, and histograms keyed by name + labels.
+
+The registry is the passive half of :mod:`repro.obs` — a dictionary of typed
+instruments that instrumented code updates through the module-level helpers in
+:mod:`repro.obs.runtime`.  Three instrument types cover the telemetry the
+paper's efficiency analysis needs (Table V, Figs 6/9/10):
+
+* :class:`Counter` — monotonically increasing totals (batches seen, cache
+  hits, hash-table grow events).
+* :class:`Gauge` — last-written value (table size, load factor, current lr).
+* :class:`Histogram` — distribution sketch over a fixed-size reservoir with
+  exact ``count``/``sum``/``min``/``max`` and reservoir-based percentiles
+  (serving latency p50/p95/p99, candidate-set sizes).
+
+Everything here is plain numpy + stdlib; instruments are deterministic in
+*what* they count (reservoir sampling uses a fixed-seed generator so the kept
+sample depends only on the insertion sequence).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object] | None) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0: {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, labels={dict(self.labels)}, value={self.value})"
+
+
+class Gauge:
+    """Last-written value (plus the number of writes, for determinism checks)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = float("nan")
+        self.writes = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.writes += 1
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value,
+                "writes": self.writes}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, labels={dict(self.labels)}, value={self.value})"
+
+
+class Histogram:
+    """Distribution sketch: exact moments + fixed-size sampling reservoir.
+
+    ``count``/``sum``/``min``/``max`` are exact over every observation;
+    percentiles come from a reservoir of up to ``reservoir_size`` samples
+    (Vitter's algorithm R with a fixed-seed generator, so the retained sample
+    is a deterministic function of the observation sequence).  When fewer than
+    ``reservoir_size`` values have been observed the reservoir *is* the full
+    sample and percentiles are exact.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 reservoir_size: int = 2048) -> None:
+        if reservoir_size <= 0:
+            raise ValueError(f"reservoir_size must be positive: {reservoir_size}")
+        self.name = name
+        self.labels = labels
+        self.reservoir_size = reservoir_size
+        self._reservoir: list[float] = []
+        self._rng = np.random.default_rng(0)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = int(self._rng.integers(0, self.count))
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def samples(self) -> np.ndarray:
+        """The retained reservoir (== all observations while under capacity)."""
+        return np.asarray(self._reservoir, dtype=np.float64)
+
+    def percentile(self, q: float | list[float]) -> float | np.ndarray:
+        """Reservoir percentile(s); ``nan`` when nothing has been observed."""
+        if not self._reservoir:
+            if isinstance(q, (list, tuple, np.ndarray)):
+                return np.full(len(q), float("nan"))
+            return float("nan")
+        out = np.percentile(self.samples(), q)
+        return float(out) if np.ndim(out) == 0 else out
+
+    def snapshot(self) -> dict:
+        p50, p95, p99 = (self.percentile([50, 95, 99]) if self._reservoir
+                         else (float("nan"),) * 3)
+        return {"type": self.kind, "name": self.name,
+                "labels": dict(self.labels), "count": self.count,
+                "sum": self.sum, "mean": self.mean,
+                "min": self.min if self.count else float("nan"),
+                "max": self.max if self.count else float("nan"),
+                "p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, labels={dict(self.labels)}, "
+                f"count={self.count})")
+
+
+class MetricsRegistry:
+    """Instrument store keyed by ``(name, sorted labels)``.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first call
+    for a key fixes its type, and asking for the same key as a different type
+    raises (a name cannot be both a counter and a gauge).
+    """
+
+    def __init__(self, reservoir_size: int = 2048) -> None:
+        self.reservoir_size = reservoir_size
+        self._instruments: dict[tuple[str, LabelKey], object] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator:
+        """Instruments in deterministic (name, labels) order."""
+        return iter(sorted(self._instruments.values(),
+                           key=lambda m: (m.name, m.labels)))
+
+    def _get_or_create(self, cls, name: str,
+                       labels: Mapping[str, object] | None, **kwargs):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, key[1], **kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(f"metric {name!r} with labels {dict(key[1])} is a "
+                            f"{inst.kind}, not a {cls.kind}")
+        return inst
+
+    def counter(self, name: str, labels: Mapping[str, object] | None = None,
+                ) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Mapping[str, object] | None = None,
+              ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, labels: Mapping[str, object] | None = None,
+                  reservoir_size: int | None = None) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels,
+            reservoir_size=reservoir_size or self.reservoir_size)
+
+    def get(self, name: str, labels: Mapping[str, object] | None = None):
+        """Fetch an existing instrument or ``None`` (never creates)."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def snapshot(self) -> list[dict]:
+        """All instruments as plain dicts, deterministically ordered."""
+        return [inst.snapshot() for inst in self]
+
+    def reset(self) -> None:
+        self._instruments.clear()

@@ -1,0 +1,167 @@
+"""Process-wide telemetry runtime: install/uninstall plus no-op fast paths.
+
+Instrumented code throughout the repo calls the module-level helpers here
+(``count`` / ``gauge_set`` / ``observe`` / ``span`` / ``latency``) on its hot
+paths.  When no :class:`Telemetry` session is installed every helper is a
+cheap early return (one global load + ``None`` check), so default-on
+instrumentation costs effectively nothing; installing a session routes the
+same calls into a :class:`~repro.obs.registry.MetricsRegistry` and
+:class:`~repro.obs.trace.SpanTracer`.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.session() as telemetry:
+        model.fit(dataset, epochs=5)
+    print(telemetry.tracer.render())
+    telemetry.dump_jsonl("run.jsonl")
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import SpanTracer
+
+__all__ = ["Telemetry", "install", "uninstall", "current", "enabled",
+           "session", "count", "gauge_set", "observe", "span", "latency"]
+
+
+class Telemetry:
+    """One observability session: a metrics registry plus a span tracer."""
+
+    def __init__(self, reservoir_size: int = 2048) -> None:
+        self.registry = MetricsRegistry(reservoir_size=reservoir_size)
+        self.tracer = SpanTracer()
+
+    def snapshot(self) -> list[dict]:
+        """Metrics and spans as one flat, deterministic event list."""
+        events = self.registry.snapshot()
+        for rec in self.tracer.flatten():
+            events.append({"type": "span", **rec})
+        return events
+
+    def dump_jsonl(self, path: str | Path, run_id: str | None = None) -> int:
+        """Write the session snapshot as JSONL; returns the event count."""
+        from repro.obs.exporters import dump_jsonl
+
+        return dump_jsonl(self, path, run_id=run_id)
+
+    def to_prometheus(self) -> str:
+        from repro.obs.exporters import to_prometheus
+
+        return to_prometheus(self.registry)
+
+
+_TELEMETRY: Telemetry | None = None
+
+
+def install(telemetry: Telemetry | None = None, reservoir_size: int = 2048,
+            ) -> Telemetry:
+    """Make ``telemetry`` (or a fresh session) the process-wide sink."""
+    global _TELEMETRY
+    _TELEMETRY = telemetry if telemetry is not None \
+        else Telemetry(reservoir_size=reservoir_size)
+    return _TELEMETRY
+
+
+def uninstall() -> Telemetry | None:
+    """Remove the installed session (returning it); helpers become no-ops."""
+    global _TELEMETRY
+    telemetry, _TELEMETRY = _TELEMETRY, None
+    return telemetry
+
+
+def current() -> Telemetry | None:
+    return _TELEMETRY
+
+
+def enabled() -> bool:
+    return _TELEMETRY is not None
+
+
+@contextmanager
+def session(telemetry: Telemetry | None = None, reservoir_size: int = 2048):
+    """Install a session for the block, restoring the previous one after."""
+    global _TELEMETRY
+    previous = _TELEMETRY
+    telemetry = install(telemetry, reservoir_size=reservoir_size)
+    try:
+        yield telemetry
+    finally:
+        _TELEMETRY = previous
+
+
+# -- hot-path helpers (no-ops unless a session is installed) -------------------
+
+def count(name: str, amount: float = 1.0, **labels) -> None:
+    t = _TELEMETRY
+    if t is None:
+        return
+    t.registry.counter(name, labels).inc(amount)
+
+
+def gauge_set(name: str, value: float, **labels) -> None:
+    t = _TELEMETRY
+    if t is None:
+        return
+    t.registry.gauge(name, labels).set(value)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    t = _TELEMETRY
+    if t is None:
+        return
+    t.registry.histogram(name, labels).observe(value)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the uninstrumented fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str):
+    """Open a tracer span, or a shared no-op context when not installed."""
+    t = _TELEMETRY
+    if t is None:
+        return _NULL_SPAN
+    return t.tracer.span(name)
+
+
+class _LatencyTimer:
+    """Times a block into a latency histogram (seconds)."""
+
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist) -> None:
+        self._hist = hist
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._hist.observe(time.perf_counter() - self._start)
+        return False
+
+
+def latency(name: str, **labels):
+    """``with obs.latency("serving.lookup_seconds"):`` → latency histogram."""
+    t = _TELEMETRY
+    if t is None:
+        return _NULL_SPAN
+    return _LatencyTimer(t.registry.histogram(name, labels))

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import FieldBatch
+from repro.obs import runtime as obs
 from repro.utils.rng import new_rng
 
 __all__ = ["FeatureSampler", "UniformSampler", "FrequencySampler",
@@ -124,15 +125,27 @@ def get_sampler(name: str) -> FeatureSampler:
 
 def select_candidates(batch_field: FieldBatch, rate: float = 1.0,
                       sampler: FeatureSampler | None = None,
-                      rng: np.random.Generator | int | None = None) -> np.ndarray:
+                      rng: np.random.Generator | int | None = None,
+                      field: str | None = None) -> np.ndarray:
     """Full batched-softmax candidate selection for one field.
 
     Step 1 (batched softmax): restrict to features observed by at least one
     user in the batch.  Step 2 (feature sampling): sample that set down with
-    ``rate`` using ``sampler`` (defaults to uniform).
+    ``rate`` using ``sampler`` (defaults to uniform).  ``field`` only labels
+    the candidate-size telemetry (``sampling.candidates`` / ``sampling.kept``
+    histograms).
     """
     candidates, frequencies = np.unique(batch_field.indices, return_counts=True)
     if rate >= 1.0 or candidates.size == 0:
+        if obs.enabled():
+            label = field or "anon"
+            obs.observe("sampling.candidates", candidates.size, field=label)
+            obs.observe("sampling.kept", candidates.size, field=label)
         return candidates
     sampler = sampler or UniformSampler()
-    return sampler.sample(candidates, frequencies, rate, new_rng(rng))
+    kept = sampler.sample(candidates, frequencies, rate, new_rng(rng))
+    if obs.enabled():
+        label = field or "anon"
+        obs.observe("sampling.candidates", candidates.size, field=label)
+        obs.observe("sampling.kept", kept.size, field=label)
+    return kept

@@ -44,6 +44,13 @@ class Timer:
     def running(self) -> bool:
         return self._start is not None
 
+    @property
+    def current(self) -> float:
+        """Accumulated time including the in-flight lap, without stopping."""
+        if self._start is None:
+            return self.elapsed
+        return self.elapsed + (time.perf_counter() - self._start)
+
     def __enter__(self) -> "Timer":
         return self.start()
 

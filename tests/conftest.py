@@ -64,3 +64,12 @@ def trained_fvae(sc_split):
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_telemetry():
+    """Guarantee no test leaves a process-wide telemetry session installed."""
+    from repro.obs import runtime as obs
+
+    yield
+    obs.uninstall()

@@ -104,6 +104,100 @@ class TestTrainer:
         assert history.total_time < 5.0
         assert len(history.epochs) < 10_000
 
+    def test_max_seconds_checked_inside_batch_loop(self, tiny_schema,
+                                                   tiny_dataset):
+        # A budget far below one batch's cost must stop after the FIRST batch
+        # of the FIRST epoch, not at the epoch boundary.
+        history = Trainer(make_model(tiny_schema)).fit(
+            tiny_dataset, epochs=10_000, batch_size=1, max_seconds=1e-9)
+        assert len(history.epochs) == 1
+        record = history.epochs[0]
+        assert record.interrupted
+        assert record.n_batches == 1  # partial epoch recorded honestly
+        assert np.isfinite(record.loss)
+
+    def test_partial_epoch_recorded_honestly(self, tiny_schema, tiny_dataset):
+        full = Trainer(make_model(tiny_schema)).fit(tiny_dataset, epochs=1,
+                                                    batch_size=2)
+        assert full.epochs[0].n_batches == 3  # 6 users / batches of 2
+        assert not full.epochs[0].interrupted
+        cut = Trainer(make_model(tiny_schema)).fit(
+            tiny_dataset, epochs=5, batch_size=2, max_seconds=1e-9)
+        assert cut.epochs[-1].n_batches < 3
+        assert cut.epochs[-1].interrupted
+
+    def test_empty_dataset_epoch_yields_nan_not_inf(self, tiny_schema,
+                                                    tiny_dataset):
+        empty = tiny_dataset.subset(np.array([], dtype=np.int64))
+        history = Trainer(make_model(tiny_schema)).fit(empty, epochs=2,
+                                                       batch_size=4)
+        assert len(history.epochs) == 2
+        for record in history.epochs:
+            assert record.n_batches == 0
+            assert np.isnan(record.users_per_second)
+        assert np.isnan(history.throughput)
+        assert not np.isinf(history.throughput)
+
+    def test_throughput_ignores_unmeasurable_epochs(self):
+        from repro.core.trainer import EpochRecord, TrainHistory
+        history = TrainHistory(epochs=[
+            EpochRecord(epoch=0, loss=1.0, recon=1.0, kl=0.0, beta=0.1,
+                        epoch_time=2.0, cumulative_time=2.0,
+                        users_per_second=100.0, n_batches=4),
+            EpochRecord(epoch=1, loss=1.0, recon=1.0, kl=0.0, beta=0.1,
+                        epoch_time=0.01, cumulative_time=2.01,
+                        users_per_second=float("nan"), n_batches=0),
+        ])
+        assert history.throughput == pytest.approx(100.0)
+
+    def test_callbacks_default_none(self, tiny_schema, tiny_dataset):
+        history = Trainer(make_model(tiny_schema)).fit(tiny_dataset, epochs=1,
+                                                       batch_size=3,
+                                                       callbacks=None)
+        assert len(history.epochs) == 1
+
+
+class TestTrainerLogging:
+    def test_epoch_progress_via_logging(self, tiny_schema, tiny_dataset,
+                                        caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.core.trainer"):
+            Trainer(make_model(tiny_schema)).fit(tiny_dataset, epochs=2,
+                                                 batch_size=3)
+        messages = [r.getMessage() for r in caplog.records
+                    if r.name == "repro.core.trainer"]
+        assert len(messages) == 2
+        assert "[epoch 0]" in messages[0] and "loss=" in messages[0]
+
+    def test_verbose_attaches_stream_handler_once(self, tiny_schema,
+                                                  tiny_dataset, capsys):
+        import logging
+
+        logger = logging.getLogger("repro.core.trainer")
+        before = list(logger.handlers)
+        try:
+            Trainer(make_model(tiny_schema)).fit(tiny_dataset, epochs=1,
+                                                 batch_size=3, verbose=True)
+            Trainer(make_model(tiny_schema)).fit(tiny_dataset, epochs=1,
+                                                 batch_size=3, verbose=True)
+            ours = [h for h in logger.handlers
+                    if getattr(h, "_repro_verbose", False)]
+            assert len(ours) == 1  # idempotent across fits
+            assert "[epoch 0]" in capsys.readouterr().err
+        finally:
+            for handler in list(logger.handlers):
+                if handler not in before:
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+
+    def test_quiet_by_default(self, tiny_schema, tiny_dataset, capsys):
+        Trainer(make_model(tiny_schema)).fit(tiny_dataset, epochs=1,
+                                             batch_size=3)
+        captured = capsys.readouterr()
+        assert "[epoch" not in captured.out
+        assert "[epoch" not in captured.err
+
     def test_model_left_in_eval_mode(self, tiny_schema, tiny_dataset):
         model = make_model(tiny_schema)
         Trainer(model).fit(tiny_dataset, epochs=1, batch_size=3)

@@ -81,6 +81,41 @@ class TestLRUCache:
         assert len(cache) == 1
         np.testing.assert_allclose(cache.get("a"), 1.0)
 
+    def test_hit_miss_accounting_under_eviction(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", np.zeros(1))
+        cache.put("b", np.zeros(1))
+        cache.put("c", np.zeros(1))       # evicts a
+        assert cache.evictions == 1
+        assert cache.get("a") is None     # miss: evicted
+        assert cache.get("b") is not None
+        assert cache.get("c") is not None
+        cache.put("d", np.zeros(1))       # evicts b (a's miss refreshed nothing)
+        assert cache.get("b") is None
+        assert cache.evictions == 2
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_churn_accounting(self):
+        cache = LRUCache(capacity=4)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 16, size=500)
+        expected_hits = expected_misses = 0
+        for key in keys:
+            if cache.get(int(key)) is None:
+                expected_misses += 1
+                cache.put(int(key), np.zeros(1))
+            else:
+                expected_hits += 1
+        assert cache.hits == expected_hits
+        assert cache.misses == expected_misses
+        assert len(cache) == 4
+        assert cache.evictions == expected_misses - 4
+        assert cache.hit_rate == expected_hits / (expected_hits + expected_misses)
+
+    def test_empty_cache_hit_rate_zero(self):
+        assert LRUCache(capacity=1).hit_rate == 0.0
+
 
 class TestServingProxy:
     def test_cache_then_store_lookup(self):

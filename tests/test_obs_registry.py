@@ -1,0 +1,139 @@
+"""repro.obs.registry: counters, gauges, histograms, and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1.0)
+
+    def test_snapshot(self):
+        c = Counter("hits", (("cache", "serving"),))
+        c.inc(4)
+        snap = c.snapshot()
+        assert snap == {"type": "counter", "name": "hits",
+                        "labels": {"cache": "serving"}, "value": 4.0}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        assert np.isnan(g.value)
+        g.set(1.0)
+        g.set(7.0)
+        assert g.value == 7.0
+        assert g.writes == 2
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 16.0
+        assert h.mean == 4.0
+        assert h.min == 1.0 and h.max == 10.0
+
+    def test_percentiles_match_numpy_under_capacity(self):
+        rng = np.random.default_rng(3)
+        values = rng.gamma(2.0, 1.5, size=500)
+        h = Histogram("lat", reservoir_size=2048)
+        for v in values:
+            h.observe(v)
+        for q in (50, 95, 99):
+            np.testing.assert_allclose(h.percentile(q), np.percentile(values, q))
+        np.testing.assert_allclose(h.percentile([50, 95, 99]),
+                                   np.percentile(values, [50, 95, 99]))
+
+    def test_reservoir_bounded_and_deterministic(self):
+        def fill():
+            h = Histogram("h", reservoir_size=64)
+            for v in range(1000):
+                h.observe(float(v))
+            return h
+
+        a, b = fill(), fill()
+        assert len(a.samples()) == 64
+        assert a.count == 1000
+        np.testing.assert_array_equal(a.samples(), b.samples())
+
+    def test_reservoir_percentile_approximates_population(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(100.0, 10.0, size=20_000)
+        h = Histogram("h", reservoir_size=1024)
+        for v in values:
+            h.observe(v)
+        assert abs(h.percentile(50) - np.percentile(values, 50)) < 2.0
+
+    def test_empty_percentile_is_nan(self):
+        h = Histogram("h")
+        assert np.isnan(h.percentile(50))
+        assert np.isnan(h.percentile([50, 95])).all()
+        assert np.isnan(h.mean)
+
+    def test_invalid_reservoir_size(self):
+        with pytest.raises(ValueError):
+            Histogram("h", reservoir_size=0)
+
+    def test_snapshot_keys(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        snap = h.snapshot()
+        assert {"type", "name", "labels", "count", "sum", "mean", "min",
+                "max", "p50", "p95", "p99"} <= set(snap)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.counter("c", {"a": 1}) is not reg.counter("c", {"a": 2})
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", {"a": 1, "b": 2}) is reg.counter("c", {"b": 2, "a": 1})
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_get_never_creates(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        assert len(reg) == 0
+
+    def test_snapshot_deterministic_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("a", {"x": 1}).set(3)
+        names = [(e["name"], tuple(sorted(e["labels"].items())))
+                 for e in reg.snapshot()]
+        assert names == sorted(names)
+
+    def test_default_reservoir_size_propagates(self):
+        reg = MetricsRegistry(reservoir_size=7)
+        assert reg.histogram("h").reservoir_size == 7
+        assert reg.histogram("h2", reservoir_size=3).reservoir_size == 3
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert len(reg) == 0

@@ -1,0 +1,166 @@
+"""repro.obs.trace: span nesting, aggregation, and the runtime no-op path."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import SpanTracer, Telemetry
+from repro.obs import runtime as obs
+
+
+class TestSpanTracer:
+    def test_aggregates_repeated_spans(self):
+        tracer = SpanTracer()
+        for __ in range(5):
+            with tracer.span("forward"):
+                pass
+        node = tracer.root.children["forward"]
+        assert node.count == 5
+        assert node.total >= 0.0
+
+    def test_nesting_builds_tree(self):
+        tracer = SpanTracer()
+        with tracer.span("epoch"):
+            with tracer.span("forward"):
+                pass
+            with tracer.span("backward"):
+                pass
+        epoch = tracer.root.children["epoch"]
+        assert set(epoch.children) == {"forward", "backward"}
+        assert "forward" not in tracer.root.children
+
+    def test_same_name_different_parents_are_distinct(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            with tracer.span("x"):
+                pass
+        with tracer.span("b"):
+            with tracer.span("x"):
+                pass
+        assert tracer.root.children["a"].children["x"].count == 1
+        assert tracer.root.children["b"].children["x"].count == 1
+
+    def test_total_by_path(self):
+        tracer = SpanTracer()
+        with tracer.span("epoch"):
+            with tracer.span("forward"):
+                time.sleep(0.01)
+        assert tracer.total("epoch/forward") >= 0.01
+        assert tracer.total("epoch") >= tracer.total("epoch/forward")
+        assert tracer.total("nope") == 0.0
+        assert tracer.total("epoch/nope") == 0.0
+
+    def test_self_time_excludes_children(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        outer = tracer.root.children["outer"]
+        assert outer.self_time == pytest.approx(
+            outer.total - outer.children["inner"].total)
+
+    def test_span_survives_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.root.children["boom"].count == 1
+        assert tracer.depth == 0
+
+    def test_flatten_paths(self):
+        tracer = SpanTracer()
+        with tracer.span("epoch"):
+            with tracer.span("forward"):
+                pass
+        paths = [rec["path"] for rec in tracer.flatten()]
+        assert paths == ["epoch", "epoch/forward"]
+        rec = tracer.flatten()[1]
+        assert rec["count"] == 1 and rec["mean"] == rec["total"]
+
+    def test_render_contains_stages(self):
+        tracer = SpanTracer()
+        with tracer.span("epoch"):
+            with tracer.span("forward"):
+                pass
+        text = tracer.render()
+        assert "epoch" in text and "forward" in text and "count" in text
+
+    def test_reset_requires_closed_spans(self):
+        tracer = SpanTracer()
+        span = tracer.span("open")
+        span.__enter__()
+        with pytest.raises(RuntimeError):
+            tracer.reset()
+        span.__exit__(None, None, None)
+        tracer.reset()
+        assert tracer.flatten() == []
+
+
+class TestRuntime:
+    def test_helpers_noop_without_session(self):
+        assert not obs.enabled()
+        obs.count("x")
+        obs.gauge_set("g", 1.0)
+        obs.observe("h", 1.0)
+        with obs.span("s"):
+            pass
+        with obs.latency("l"):
+            pass
+        assert obs.current() is None
+
+    def test_session_installs_and_restores(self):
+        assert obs.current() is None
+        with obs.session() as telemetry:
+            assert obs.current() is telemetry
+            obs.count("x", 2)
+            obs.gauge_set("g", 5.0)
+            obs.observe("h", 1.5)
+        assert obs.current() is None
+        assert telemetry.registry.get("x").value == 2
+        assert telemetry.registry.get("g").value == 5.0
+        assert telemetry.registry.get("h").count == 1
+
+    def test_nested_sessions_restore_outer(self):
+        with obs.session() as outer:
+            with obs.session() as inner:
+                assert obs.current() is inner
+            assert obs.current() is outer
+
+    def test_span_routes_to_installed_tracer(self):
+        with obs.session() as telemetry:
+            with obs.span("stage"):
+                pass
+        assert telemetry.tracer.root.children["stage"].count == 1
+
+    def test_latency_records_seconds(self):
+        with obs.session() as telemetry:
+            with obs.latency("lat", op="q"):
+                time.sleep(0.005)
+        hist = telemetry.registry.get("lat", {"op": "q"})
+        assert hist.count == 1
+        assert hist.sum >= 0.005
+
+    def test_install_uninstall(self):
+        telemetry = obs.install()
+        assert obs.enabled() and obs.current() is telemetry
+        assert obs.uninstall() is telemetry
+        assert not obs.enabled()
+        assert obs.uninstall() is None
+
+    def test_install_existing_session(self):
+        mine = Telemetry(reservoir_size=4)
+        try:
+            assert obs.install(mine) is mine
+            assert obs.current() is mine
+        finally:
+            obs.uninstall()
+
+    def test_snapshot_merges_metrics_and_spans(self):
+        with obs.session() as telemetry:
+            obs.count("c")
+            with obs.span("s"):
+                pass
+        types = {e["type"] for e in telemetry.snapshot()}
+        assert types == {"counter", "span"}

@@ -81,3 +81,42 @@ class TestTimer:
         with timed() as elapsed:
             time.sleep(0.01)
         assert elapsed() >= 0.01
+
+    def test_context_manager_stops_on_exception(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer:
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        assert not timer.running
+        assert timer.laps == 1
+        assert timer.elapsed >= 0.005
+
+    def test_current_includes_inflight_lap(self):
+        timer = Timer()
+        assert timer.current == 0.0
+        with timer:
+            time.sleep(0.005)
+            assert timer.current >= 0.005
+            mid = timer.current
+        assert timer.elapsed >= mid
+        assert timer.current == timer.elapsed  # stopped → no in-flight lap
+
+    def test_current_accumulates_across_laps(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.005)
+        first = timer.elapsed
+        timer.start()
+        time.sleep(0.005)
+        assert timer.current >= first + 0.005
+        timer.stop()
+
+    def test_stop_returns_lap_not_total(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        timer.start()
+        time.sleep(0.001)
+        lap = timer.stop()
+        assert lap < timer.elapsed  # second lap alone, not the running total
