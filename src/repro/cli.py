@@ -7,7 +7,12 @@ Commands mirror the deployment workflow of §IV-D at example scale:
 * ``evaluate``     — tag prediction / reconstruction with a saved model
 * ``embed``        — write user embeddings from a saved model to .npz
 * ``benchmark``    — quick FVAE-vs-Mult-VAE throughput comparison
+* ``faults``       — fault-injected distributed training overhead table
 * ``report``       — render a telemetry JSONL dump (``train --telemetry``)
+
+``train`` grows crash-safety flags: ``--checkpoint-dir`` /
+``--checkpoint-every`` write atomic checkpoints during training and
+``--resume`` continues bit-exactly from the latest one after a kill.
 """
 
 from __future__ import annotations
@@ -48,6 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--telemetry", default=None, metavar="PATH",
                          help="record training telemetry and write a JSONL "
                               "event dump to PATH (render with 'repro report')")
+    p_train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="write crash-safe checkpoints to DIR during "
+                              "training")
+    p_train.add_argument("--checkpoint-every", type=int, default=0,
+                         metavar="STEPS",
+                         help="also checkpoint every STEPS batches "
+                              "(0: epoch boundaries only)")
+    p_train.add_argument("--resume", action="store_true",
+                         help="resume from the latest valid checkpoint in "
+                              "--checkpoint-dir (fresh start when none)")
 
     p_eval = sub.add_parser("evaluate", help="evaluate a saved model")
     add_dataset_args(p_eval)
@@ -64,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="FVAE vs Mult-VAE training throughput")
     add_dataset_args(p_bench)
     p_bench.add_argument("--epochs", type=int, default=2)
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-injected distributed training: recovery "
+                       "overhead vs crash rate")
+    p_faults.add_argument("--users", type=int, default=1500)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--workers", type=int, default=6)
+    p_faults.add_argument("--crash-rates", default="0,0.02,0.05,0.1",
+                          help="comma-separated per worker-step crash "
+                               "probabilities")
+    p_faults.add_argument("--checkpoint-interval", type=int, default=10,
+                          metavar="STEPS",
+                          help="steps between checkpoints for the "
+                               "checkpoint_restart strategy")
 
     p_report = sub.add_parser("report",
                               help="render a telemetry JSONL dump as tables")
@@ -105,18 +134,25 @@ def _cmd_train(args, out) -> int:
                         beta=args.beta, sampling_rate=args.sampling_rate,
                         seed=args.seed)
     model = FVAE(synthetic.dataset.schema, config)
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    fit_kwargs = dict(epochs=args.epochs, batch_size=args.batch_size,
+                      lr=args.lr)
+    if args.checkpoint_dir:
+        fit_kwargs.update(checkpointer=args.checkpoint_dir,
+                          checkpoint_every=args.checkpoint_every,
+                          resume_from=args.resume)
     if args.telemetry:
         with obs.session() as telemetry:
-            model.fit(synthetic.dataset, epochs=args.epochs,
-                      batch_size=args.batch_size, lr=args.lr,
-                      callbacks=[obs.TelemetryCallback()])
+            model.fit(synthetic.dataset, callbacks=[obs.TelemetryCallback()],
+                      **fit_kwargs)
         events = telemetry.dump_jsonl(
             args.telemetry, run_id=f"train-{args.dataset}-seed{args.seed}")
         print(f"telemetry: {events} events written to {args.telemetry}",
               file=out)
     else:
-        model.fit(synthetic.dataset, epochs=args.epochs,
-                  batch_size=args.batch_size, lr=args.lr)
+        model.fit(synthetic.dataset, **fit_kwargs)
     save_fvae(model, args.output)
     history = model.history
     print(f"trained {args.epochs} epochs in {history.total_time:.1f}s "
@@ -171,6 +207,20 @@ def _cmd_benchmark(args, out) -> int:
     return 0
 
 
+def _cmd_faults(args, out) -> int:
+    from repro.experiments import run_fault_tolerance
+    from repro.experiments.common import ExperimentScale
+
+    rates = tuple(float(r) for r in args.crash_rates.split(","))
+    scale = ExperimentScale(n_users=args.users, latent_dim=16,
+                            seed=args.seed)
+    result = run_fault_tolerance(scale=scale, n_workers=args.workers,
+                                 crash_rates=rates,
+                                 checkpoint_interval=args.checkpoint_interval)
+    print(result.to_text(), file=out)
+    return 0
+
+
 def _cmd_report(args, out) -> int:
     from repro.obs import events_to_prometheus, load_jsonl, render_events
 
@@ -188,6 +238,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "embed": _cmd_embed,
     "benchmark": _cmd_benchmark,
+    "faults": _cmd_faults,
     "report": _cmd_report,
 }
 

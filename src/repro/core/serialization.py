@@ -6,6 +6,14 @@ tables mapping raw feature ids to embedding rows are part of the model state.
 ``save_fvae`` captures config + schema + tables + parameters in one ``.npz``
 archive; ``load_fvae`` restores an identical model (tables frozen by default,
 the correct serving posture).
+
+Writes are crash-safe: the archive is staged to a temporary file in the
+target directory and moved into place with ``os.replace`` (see
+:mod:`repro.utils.fileio`), so a crash mid-save never clobbers the previous
+model.  A ``<name>.sha256`` sidecar records the content digest;
+``load_fvae(verify=True)`` checks it.  Malformed archives raise
+:class:`SerializationError` with a description of what is wrong instead of a
+raw ``KeyError``.
 """
 
 from __future__ import annotations
@@ -19,14 +27,19 @@ import numpy as np
 from repro.core.config import FVAEConfig
 from repro.core.fvae import FVAE
 from repro.data.fields import FieldSchema, FieldSpec
+from repro.utils.fileio import atomic_savez, digest_path_for, verify_digest
 
-__all__ = ["save_fvae", "load_fvae"]
+__all__ = ["save_fvae", "load_fvae", "SerializationError"]
 
 _FORMAT_VERSION = 1
 
 
+class SerializationError(ValueError):
+    """A model archive is unreadable: wrong version, missing keys, corrupt."""
+
+
 def save_fvae(model: FVAE, path: str | Path) -> None:
-    """Serialize a (trained) FVAE to ``path`` (npz archive)."""
+    """Serialize a (trained) FVAE to ``path`` (npz archive, atomic write)."""
     schema_payload = [
         {"name": s.name, "vocab_size": s.vocab_size, "sample": s.sample,
          "alpha": s.alpha}
@@ -48,21 +61,62 @@ def save_fvae(model: FVAE, path: str | Path) -> None:
         "schema": schema_payload,
         "step": model._step,
     }
-    np.savez_compressed(path, meta=np.asarray(json.dumps(meta)), **arrays)
+    arrays["meta"] = np.asarray(json.dumps(meta))
+    atomic_savez(_npz_path(path), arrays)
 
 
-def load_fvae(path: str | Path, freeze_tables: bool = True) -> FVAE:
+def _npz_path(path: str | Path) -> Path:
+    """Mirror ``np.savez``'s behaviour of appending ``.npz`` when absent."""
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def load_fvae(path: str | Path, freeze_tables: bool = True,
+              verify: bool = False) -> FVAE:
     """Restore an FVAE saved by :func:`save_fvae`.
 
     ``freeze_tables`` keeps the hash tables from growing — the correct
     behaviour for serving.  Pass ``False`` to continue training on new data
-    (the dynamic-hash-table feature-growth story).
+    (the dynamic-hash-table feature-growth story).  ``verify`` additionally
+    checks the archive against its ``.sha256`` sidecar before parsing, when
+    one exists.
     """
+    path = Path(path)
+    if verify and digest_path_for(path).exists():
+        try:
+            verify_digest(path)
+        except IOError as exc:
+            raise SerializationError(f"{path} failed digest verification: "
+                                     f"{exc}") from exc
     with np.load(path, allow_pickle=True) as payload:
-        meta = json.loads(str(payload["meta"]))
+        if "meta" not in payload.files:
+            raise SerializationError(
+                f"{path} is not an FVAE archive: no 'meta' entry")
+        try:
+            meta = json.loads(str(payload["meta"]))
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{path} has an unreadable 'meta' entry: {exc}") from exc
         if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(f"unsupported model format: {meta.get('format_version')}")
+            raise SerializationError(
+                f"unsupported model format: {meta.get('format_version')} "
+                f"(this build reads version {_FORMAT_VERSION})")
+        missing_meta = [key for key in ("config", "schema", "step")
+                        if key not in meta]
+        if missing_meta:
+            raise SerializationError(
+                f"{path} meta is missing keys: {missing_meta}")
         schema = FieldSchema([FieldSpec(**spec) for spec in meta["schema"]])
+        missing_arrays = [
+            name for spec in schema
+            for name in (f"table_keys/{spec.name}", f"table_rows/{spec.name}",
+                         f"param/encoder.bag_{spec.name}.weight",
+                         f"param/decoder.head_{spec.name}.weight")
+            if name not in payload.files
+        ]
+        if missing_arrays:
+            raise SerializationError(
+                f"{path} is missing arrays: {sorted(missing_arrays)}")
         model = FVAE(schema, FVAEConfig(**meta["config"]))
         model._step = int(meta["step"])
 
@@ -86,7 +140,11 @@ def load_fvae(path: str | Path, freeze_tables: bool = True) -> FVAE:
 
         state = {name[len("param/"):]: payload[name]
                  for name in payload.files if name.startswith("param/")}
-        model.load_state_dict(state)
+        try:
+            model.load_state_dict(state)
+        except KeyError as exc:
+            raise SerializationError(
+                f"{path} state dict incomplete: {exc}") from exc
     model.eval()
     return model
 

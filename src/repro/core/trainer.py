@@ -12,12 +12,21 @@ free when no telemetry session is installed — and ``fit`` drives an optional
 list of callbacks (see :class:`repro.obs.callbacks.TrainerCallback`).
 Progress output goes through the ``repro.core.trainer`` logger;
 ``verbose=True`` attaches a stream handler as a convenience.
+
+Resilience: ``fit`` integrates with :class:`repro.resilience.Checkpointer`.
+With ``checkpointer=`` set, an atomic checkpoint (parameters, optimizer
+moments, hash tables, RNG states, epoch/batch cursor, partial-epoch
+accumulators) is written every ``checkpoint_every`` optimizer steps and at
+every epoch boundary; ``resume_from=`` restores one and continues the run
+**bit-exactly** — the resumed run draws the same shuffles and the same noise
+as the uninterrupted run, so final parameters match to the last bit.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -26,14 +35,16 @@ from repro.data.dataset import MultiFieldDataset
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.schedules import clip_grad_norm
 from repro.obs import runtime as obs
-from repro.utils.rng import new_rng
+from repro.resilience.checkpoint import (Checkpoint, CheckpointError,
+                                         Checkpointer, model_state_arrays,
+                                         restore_model_state)
+from repro.utils.rng import (capture_rng_tree, get_generator_state, new_rng,
+                             restore_rng_tree, set_generator_state)
 from repro.utils.timer import Timer
 
 __all__ = ["EpochRecord", "TrainHistory", "Trainer"]
 
 logger = logging.getLogger(__name__)
-
-_BATCH_DONE = object()  # sentinel: batch iterator exhausted
 
 
 def _attach_verbose_handler() -> None:
@@ -98,6 +109,17 @@ class TrainHistory:
         return [getattr(r, key) for r in self.epochs]
 
 
+@dataclass
+class _EpochProgress:
+    """Mutable within-epoch accumulators (checkpointed mid-epoch)."""
+
+    losses: list[float] = field(default_factory=list)
+    recons: list[float] = field(default_factory=list)
+    kls: list[float] = field(default_factory=list)
+    betas: list[float] = field(default_factory=list)
+    n_seen: int = 0
+
+
 class Trainer:
     """Runs Algorithm 1: shuffled mini-batches, noisy gradients, Adam updates.
 
@@ -137,7 +159,11 @@ class Trainer:
             patience: int = 3,
             max_seconds: float | None = None,
             callbacks: Sequence | None = None,
-            verbose: bool = False) -> TrainHistory:
+            verbose: bool = False,
+            checkpointer: Checkpointer | str | Path | None = None,
+            checkpoint_every: int = 0,
+            resume_from: Checkpoint | Checkpointer | str | Path | bool | None = None,
+            ) -> TrainHistory:
         """Train for up to ``epochs`` epochs (or until ``max_seconds`` elapse).
 
         ``eval_fn`` is called every ``eval_every`` epochs (training mode is
@@ -148,39 +174,83 @@ class Trainer:
         ``interrupted=True`` and its true ``n_batches``).  ``callbacks`` are
         driven through the :class:`~repro.obs.callbacks.TrainerCallback`
         hooks.
+
+        Crash safety: pass ``checkpointer=`` (a
+        :class:`~repro.resilience.Checkpointer` or a directory path) to
+        snapshot the full training state every ``checkpoint_every`` optimizer
+        steps (``0`` → epoch boundaries only).  ``resume_from`` accepts a
+        checkpoint file, a checkpoint directory, a loaded
+        :class:`~repro.resilience.Checkpoint`, or ``True`` (= latest from
+        ``checkpointer``; starts fresh when none exists yet) and continues
+        the interrupted run bit-deterministically — including mid-epoch, via
+        the saved shuffle order and batch cursor.
         """
         if epochs <= 0:
             raise ValueError(f"epochs must be positive: {epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive: {batch_size}")
+        if checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0: {checkpoint_every}")
         rng = new_rng(rng)
         callbacks = list(callbacks or ())
         if verbose:
             _attach_verbose_handler()
+        if isinstance(checkpointer, (str, Path)):
+            checkpointer = Checkpointer(checkpointer)
         history = TrainHistory()
         timer = Timer()
         step = getattr(self.model, "_step", 0)
         best_metric = -np.inf
         since_best = 0
+        base_elapsed = 0.0
+        start_epoch = 0
+        resume_cursor = 0
+        resume_order: np.ndarray | None = None
+        resume_progress: _EpochProgress | None = None
+
+        checkpoint = self._resolve_resume(resume_from, checkpointer)
+        if checkpoint is not None:
+            (step, start_epoch, resume_cursor, resume_order, resume_progress,
+             base_elapsed, best_metric, since_best) = \
+                self._restore_checkpoint(checkpoint, rng, history)
+            obs.count("checkpoint.resumes")
+            logger.info("resumed from %s (epoch %d, batch %d, step %d)",
+                        checkpoint.path, start_epoch, resume_cursor, step)
+            if start_epoch >= epochs and resume_cursor == 0:
+                self.model.eval()
+                return history
 
         for cb in callbacks:
             cb.on_train_start(self, dataset)
 
+        n_users = len(dataset)
+        total_batches = -(-n_users // batch_size)
+
         budget_exhausted = False
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             self.model.train()
             for cb in callbacks:
                 cb.on_epoch_start(self, epoch)
-            losses, recons, kls, betas = [], [], [], []
-            n_seen = 0
-            n_batches = 0
+            if epoch == start_epoch and resume_cursor > 0 \
+                    and resume_order is not None:
+                # Mid-epoch resume: replay the interrupted epoch's shuffle
+                # order from the saved batch cursor.
+                order = resume_order
+                first_batch = resume_cursor
+                progress = resume_progress or _EpochProgress()
+            else:
+                order = np.arange(n_users)
+                rng.shuffle(order)
+                first_batch = 0
+                progress = _EpochProgress()
+            cursor = first_batch
             interrupted = False
             timer.start()
             with obs.span("epoch"):
-                batches = dataset.iter_batches(batch_size, shuffle=True, rng=rng)
-                while True:
+                for b in range(first_batch, total_batches):
                     with obs.span("batch_iter"):
-                        batch = next(batches, _BATCH_DONE)
-                    if batch is _BATCH_DONE:
-                        break
+                        batch = dataset.batch(
+                            order[b * batch_size:(b + 1) * batch_size])
                     with obs.span("forward"):
                         self.optimizer.zero_grad()
                         loss, diag = self.model.loss_on_batch(batch, step)
@@ -194,34 +264,53 @@ class Trainer:
                             self.optimizer.lr = self.base_lr * self.lr_schedule(step)
                         self.optimizer.step()
                     step += 1
-                    n_batches += 1
-                    n_seen += batch.n_users
-                    losses.append(diag.get("loss", loss.item()))
-                    recons.append(diag.get("recon", float("nan")))
-                    kls.append(diag.get("kl", float("nan")))
-                    betas.append(diag.get("beta", float("nan")))
+                    cursor = b + 1
+                    progress.n_seen += batch.n_users
+                    progress.losses.append(diag.get("loss", loss.item()))
+                    progress.recons.append(diag.get("recon", float("nan")))
+                    progress.kls.append(diag.get("kl", float("nan")))
+                    progress.betas.append(diag.get("beta", float("nan")))
                     obs.count("trainer.batches")
                     obs.count("trainer.users", batch.n_users)
+                    if checkpointer is not None and checkpoint_every \
+                            and step % checkpoint_every == 0:
+                        self._save_checkpoint(
+                            checkpointer, rng, history, step=step, epoch=epoch,
+                            cursor=cursor, order=order, progress=progress,
+                            elapsed=base_elapsed + timer.current,
+                            best_metric=best_metric, since_best=since_best)
                     for cb in callbacks:
-                        cb.on_batch_end(self, epoch, step, losses[-1], diag)
+                        cb.on_batch_end(self, epoch, step, progress.losses[-1],
+                                        diag)
                     if max_seconds is not None and timer.current >= max_seconds:
                         interrupted = True
                         budget_exhausted = True
                         break
             epoch_time = timer.stop()
 
+            if interrupted and checkpointer is not None:
+                # Snapshot the in-progress epoch so a later run can resume it
+                # from this exact batch.  (Saved before the partial record is
+                # appended: the checkpointed history only holds full epochs.)
+                self._save_checkpoint(
+                    checkpointer, rng, history, step=step, epoch=epoch,
+                    cursor=cursor, order=order, progress=progress,
+                    elapsed=base_elapsed + timer.elapsed,
+                    best_metric=best_metric, since_best=since_best)
+
+            losses = progress.losses
             record = EpochRecord(
                 epoch=epoch,
                 loss=float(np.mean(losses)) if losses else float("nan"),
-                recon=float(np.mean(recons)) if recons else float("nan"),
-                kl=float(np.mean(kls)) if kls else float("nan"),
-                beta=betas[-1] if betas else float("nan"),
+                recon=float(np.mean(progress.recons)) if losses else float("nan"),
+                kl=float(np.mean(progress.kls)) if losses else float("nan"),
+                beta=progress.betas[-1] if losses else float("nan"),
                 epoch_time=epoch_time,
-                cumulative_time=timer.elapsed,
-                users_per_second=(n_seen / epoch_time
-                                  if n_batches > 0 and epoch_time > 0
+                cumulative_time=base_elapsed + timer.elapsed,
+                users_per_second=(progress.n_seen / epoch_time
+                                  if losses and epoch_time > 0
                                   else float("nan")),
-                n_batches=n_batches,
+                n_batches=len(losses),
                 interrupted=interrupted,
             )
 
@@ -255,7 +344,20 @@ class Trainer:
                 else:
                     since_best += 1
                     if since_best >= patience:
+                        if checkpointer is not None:
+                            self._save_checkpoint(
+                                checkpointer, rng, history, step=step,
+                                epoch=epoch + 1, cursor=0, order=None,
+                                progress=None,
+                                elapsed=base_elapsed + timer.elapsed,
+                                best_metric=best_metric, since_best=since_best)
                         break
+            if checkpointer is not None:
+                self._save_checkpoint(
+                    checkpointer, rng, history, step=step, epoch=epoch + 1,
+                    cursor=0, order=None, progress=None,
+                    elapsed=base_elapsed + timer.elapsed,
+                    best_metric=best_metric, since_best=since_best)
             if max_seconds is not None and timer.elapsed >= max_seconds:
                 break
 
@@ -263,3 +365,99 @@ class Trainer:
         for cb in callbacks:
             cb.on_train_end(self, history)
         return history
+
+    # -- checkpoint plumbing ---------------------------------------------------
+
+    @staticmethod
+    def _resolve_resume(resume_from, checkpointer: Checkpointer | None,
+                        ) -> Checkpoint | None:
+        """Turn the many accepted ``resume_from`` forms into a Checkpoint."""
+        if resume_from is None or resume_from is False:
+            return None
+        if isinstance(resume_from, Checkpoint):
+            return resume_from
+        if resume_from is True:
+            if checkpointer is None:
+                raise ValueError(
+                    "resume_from=True requires a checkpointer to resume from")
+            return checkpointer.latest()  # None on a cold start: begin fresh
+        if isinstance(resume_from, Checkpointer):
+            checkpoint = resume_from.latest()
+            if checkpoint is None:
+                raise CheckpointError(
+                    f"no valid checkpoint under {resume_from.directory}")
+            return checkpoint
+        path = Path(resume_from)
+        if path.is_dir():
+            checkpoint = Checkpointer(path).latest()
+            if checkpoint is None:
+                raise CheckpointError(f"no valid checkpoint under {path}")
+            return checkpoint
+        return Checkpointer(path.parent).load(path)
+
+    def _save_checkpoint(self, checkpointer: Checkpointer,
+                         rng: np.random.Generator, history: TrainHistory, *,
+                         step: int, epoch: int, cursor: int,
+                         order: np.ndarray | None,
+                         progress: _EpochProgress | None, elapsed: float,
+                         best_metric: float, since_best: int) -> Path:
+        arrays = model_state_arrays(self.model)
+        for key, value in self.optimizer.state_arrays().items():
+            arrays[f"opt/{key}"] = value
+        if cursor > 0 and order is not None and progress is not None:
+            arrays["epoch_order"] = np.asarray(order, dtype=np.int64)
+            arrays["partial/losses"] = np.asarray(progress.losses)
+            arrays["partial/recons"] = np.asarray(progress.recons)
+            arrays["partial/kls"] = np.asarray(progress.kls)
+            arrays["partial/betas"] = np.asarray(progress.betas)
+        meta = {
+            "step": int(step),
+            "epoch": int(epoch),
+            "cursor": int(cursor),
+            "n_seen": int(progress.n_seen) if progress is not None else 0,
+            "elapsed": float(elapsed),
+            "model_step": int(getattr(self.model, "_step", step)),
+            "best_metric": float(best_metric),
+            "since_best": int(since_best),
+            "optimizer": type(self.optimizer).__name__,
+            "history": [asdict(record) for record in history.epochs],
+            "rng": {"trainer": get_generator_state(rng),
+                    "model": capture_rng_tree(self.model)},
+        }
+        return checkpointer.save(arrays, meta, step=step)
+
+    def _restore_checkpoint(self, checkpoint: Checkpoint,
+                            rng: np.random.Generator, history: TrainHistory):
+        meta, arrays = checkpoint.meta, checkpoint.arrays
+        saved_opt = meta.get("optimizer")
+        if saved_opt and saved_opt != type(self.optimizer).__name__:
+            raise CheckpointError(
+                f"checkpoint was taken with {saved_opt}, but this trainer "
+                f"uses {type(self.optimizer).__name__}")
+        restore_model_state(self.model, arrays)
+        self.optimizer.load_state_arrays(
+            {name[len("opt/"):]: arr for name, arr in arrays.items()
+             if name.startswith("opt/")})
+        step = int(meta["step"])
+        if hasattr(self.model, "_step"):
+            self.model._step = int(meta.get("model_step", step))
+        rng_states = meta.get("rng", {})
+        if "trainer" in rng_states:
+            set_generator_state(rng, rng_states["trainer"])
+        restore_rng_tree(self.model, rng_states.get("model", {}))
+        history.epochs = [EpochRecord(**record)
+                          for record in meta.get("history", [])]
+        cursor = int(meta.get("cursor", 0))
+        order = arrays.get("epoch_order")
+        progress = None
+        if cursor > 0 and order is not None:
+            progress = _EpochProgress(
+                losses=arrays["partial/losses"].tolist(),
+                recons=arrays["partial/recons"].tolist(),
+                kls=arrays["partial/kls"].tolist(),
+                betas=arrays["partial/betas"].tolist(),
+                n_seen=int(meta.get("n_seen", 0)))
+        return (step, int(meta.get("epoch", 0)), cursor, order, progress,
+                float(meta.get("elapsed", 0.0)),
+                float(meta.get("best_metric", -np.inf)),
+                int(meta.get("since_best", 0)))

@@ -14,7 +14,7 @@ architecture the paper actually deployed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = ["ParameterServerCost"]
 
@@ -66,3 +66,15 @@ class ParameterServerCost:
         transfer = aggregate / (self.n_servers
                                 * self.server_bandwidth_bytes_per_second)
         return self.latency_seconds + transfer
+
+    def degraded(self, n_down: int) -> "ParameterServerCost":
+        """The cost model after losing ``n_down`` servers.
+
+        Surviving servers absorb the lost shards (consistent-hash
+        re-replication), so aggregate bandwidth shrinks while traffic stays
+        constant — sync cost rises accordingly.  At least one server always
+        survives; losing the whole pool is a job failure, not a degradation.
+        """
+        if n_down < 0:
+            raise ValueError(f"n_down must be non-negative: {n_down}")
+        return replace(self, n_servers=max(1, self.n_servers - n_down))

@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.core.trainer import Trainer
 from repro.data.dataset import MultiFieldDataset
+from repro.resilience.faults import (FaultConfig, FaultKind, FaultSchedule,
+                                     FaultyRunResult, simulate_faulty_run)
 from repro.utils.rng import new_rng
 
 __all__ = ["CommunicationModel", "WorkerMeasurement", "DistributedTrainingSimulator"]
@@ -130,6 +132,70 @@ class DistributedTrainingSimulator:
         return WorkerMeasurement(n_workers=n_workers,
                                  compute_seconds=compute_times,
                                  steps=steps, sync_seconds=sync)
+
+    def measure_with_faults(self, n_workers: int,
+                            faults: FaultConfig | FaultSchedule,
+                            strategy: str, epochs: int = 1,
+                            batch_size: int = 512, lr: float = 1e-3,
+                            rng: np.random.Generator | int | None = 0,
+                            checkpoint_interval: int = 50,
+                            checkpoint_write_seconds: float | None = None,
+                            restart_seconds: float | None = None,
+                            ) -> FaultyRunResult:
+        """Wall-clock of one cluster size under an injected fault schedule.
+
+        Extends :meth:`measure` the same way :meth:`measure` extends a real
+        run: the per-step compute cost is *measured* (shard training), while
+        faults and recovery are *modelled* by
+        :func:`repro.resilience.simulate_faulty_run`.  ``faults`` is either a
+        ready-made :class:`FaultSchedule` or a :class:`FaultConfig` to draw
+        one from (seeded — same config, same schedule).  Server-crash events
+        degrade the sync cost from that step onward when the communication
+        model supports :meth:`degraded` (:class:`ParameterServerCost`).
+
+        ``checkpoint_write_seconds`` and ``restart_seconds`` default to 2×
+        and 10× the measured per-step compute time respectively, so overhead
+        percentages stay meaningful whether the shards train in milliseconds
+        (tests) or minutes (benchmarks).
+        """
+        base = self.measure(n_workers, epochs=epochs, batch_size=batch_size,
+                            lr=lr, rng=rng)
+        n_steps = base.steps
+        if isinstance(faults, FaultConfig):
+            schedule = FaultSchedule.generate(n_steps, n_workers, faults)
+        else:
+            schedule = faults
+            if schedule.n_steps != n_steps or schedule.n_workers != n_workers:
+                raise ValueError(
+                    f"schedule was generated for "
+                    f"{schedule.n_steps}x{schedule.n_workers}, run is "
+                    f"{n_steps}x{n_workers}")
+        step_seconds = max(base.compute_seconds) / n_steps if n_steps else 0.0
+        if checkpoint_write_seconds is None:
+            checkpoint_write_seconds = 2.0 * step_seconds
+        if restart_seconds is None:
+            restart_seconds = 10.0 * step_seconds
+
+        grad_bytes = self.gradient_bytes
+        if grad_bytes is None:
+            grad_bytes = self._dense_gradient_bytes(self.model_factory())
+        base_sync = self.comm.sync_cost(n_workers, grad_bytes)
+        sync = np.full(n_steps, base_sync)
+        if hasattr(self.comm, "degraded"):
+            n_down = 0
+            for event in schedule.events:
+                if event.kind == FaultKind.SERVER_CRASH:
+                    n_down += 1
+                    sync[event.step:] = self.comm.degraded(n_down).sync_cost(
+                        n_workers, grad_bytes)
+        return simulate_faulty_run(
+            step_seconds=step_seconds, n_steps=n_steps, n_workers=n_workers,
+            schedule=schedule, strategy=strategy, sync_seconds=sync,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_write_seconds=checkpoint_write_seconds,
+            restart_seconds=restart_seconds,
+            crash_detection_seconds=0.5 * step_seconds,
+            baseline_sync_seconds=base_sync)
 
     def speedup_curve(self, worker_counts: list[int], epochs: int = 1,
                       batch_size: int = 512, lr: float = 1e-3,

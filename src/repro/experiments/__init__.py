@@ -21,10 +21,11 @@ from repro.experiments.exp_alpha import run_fig7
 from repro.experiments.exp_beta import run_fig8
 from repro.experiments.exp_scalability import run_fig9
 from repro.experiments.exp_distributed import run_fig10
+from repro.experiments.exp_fault_tolerance import run_fault_tolerance
 
 __all__ = [
     "ExperimentScale", "baseline_zoo", "fvae_config_for", "DEFAULT_LATENT_DIM",
     "run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
     "run_table6", "run_fig4", "run_fig5", "run_fig6", "run_fig7", "run_fig8",
-    "run_fig9", "run_fig10",
+    "run_fig9", "run_fig10", "run_fault_tolerance",
 ]

@@ -136,6 +136,26 @@ class DynamicHashTable:
     def items(self):
         return self._index.items()
 
+    def load_items(self, keys: Iterable[Hashable], rows: Iterable[int]) -> "DynamicHashTable":
+        """Replace the table contents with an explicit ``key -> row`` mapping.
+
+        Used by checkpoint restore (:mod:`repro.resilience`): the saved
+        mapping must be reproduced *exactly* — including insertion order,
+        which determines the rows future ids will receive — rather than
+        re-inserted through :meth:`lookup` (which would renumber).  Rows must
+        be the dense range ``0..n-1`` in some order.
+        """
+        pairs = sorted(zip(rows, keys))  # insertion order == row order
+        index: dict[Hashable, int] = {}
+        for row, key in pairs:
+            if row != len(index):
+                raise ValueError(
+                    f"rows must form a dense 0..n-1 range; got row {row} "
+                    f"at position {len(index)}")
+            index[key] = int(row)
+        self._index = index
+        return self
+
     def copy(self) -> "DynamicHashTable":
         clone = DynamicHashTable(frozen=self.frozen, name=self.name)
         clone._index = dict(self._index)

@@ -9,12 +9,13 @@ from repro.lookalike.ab_test import ABTestReport, OnlineABTest, UploaderBehavior
 from repro.lookalike.ann import LSHIndex
 from repro.lookalike.quality import (expansion_lift, expansion_precision,
                                      precision_at_depths)
-from repro.lookalike.serving import ServingProxy
+from repro.lookalike.serving import ServingProxy, ServingResilience
 from repro.lookalike.store import EmbeddingStore, LRUCache
 from repro.lookalike.system import LookalikeSystem
 
 __all__ = [
-    "EmbeddingStore", "LRUCache", "ServingProxy", "LookalikeSystem",
+    "EmbeddingStore", "LRUCache", "ServingProxy", "ServingResilience",
+    "LookalikeSystem",
     "UploaderBehaviorSimulator", "OnlineABTest", "ABTestReport",
     "expansion_precision", "expansion_lift", "precision_at_depths",
     "LSHIndex",

@@ -1,15 +1,70 @@
-"""Model-serving proxy: cache → store → model fallback (§IV-D online module)."""
+"""Model-serving proxy: cache → store → model fallback (§IV-D online module).
+
+With a :class:`ServingResilience` attached the lookup path degrades instead
+of failing: store reads are retried with backoff under a circuit breaker, and
+when the store stays down the proxy falls back through a stale last-known-good
+snapshot, on-the-fly inference, and finally a field-prior default embedding —
+every request gets *some* vector, with the source visible in telemetry.
+"""
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
 
 import numpy as np
 
 from repro.lookalike.store import EmbeddingStore, LRUCache
 from repro.obs import runtime as obs
+from repro.resilience.guards import (CircuitBreaker, CircuitOpenError,
+                                     DeadlineExceeded, RetryPolicy)
 
-__all__ = ["ServingProxy"]
+__all__ = ["ServingProxy", "ServingResilience"]
+
+#: Errors treated as "the store is unavailable" rather than "the user is
+#: unknown".  ``StoreUnavailableError`` is a ``ConnectionError`` subclass.
+_STORE_ERRORS = (ConnectionError, TimeoutError, OSError)
+
+
+@dataclass
+class ServingResilience:
+    """Degradation policy for :class:`ServingProxy` store lookups.
+
+    Attributes
+    ----------
+    retry:
+        Retry-with-backoff policy for store reads.  Retries transient store
+        errors only; a :class:`CircuitOpenError` fails over immediately.
+    breaker:
+        Circuit breaker guarding each read attempt.  While open, lookups
+        skip the store and go straight to the fallback chain.
+    default_embedding:
+        Last-resort vector served when every fallback comes up empty
+        (``None`` → zeros).  Use :meth:`from_store_prior` to serve the
+        field-prior (mean stored embedding) instead — the serving-side
+        equivalent of predicting the prior for an unseen user.
+    """
+
+    retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        max_attempts=3, backoff_seconds=0.01, max_backoff_seconds=0.25,
+        retry_on=_STORE_ERRORS))
+    breaker: CircuitBreaker | None = field(default_factory=lambda: CircuitBreaker(
+        failure_threshold=5, reset_seconds=5.0, name="serving-store"))
+    default_embedding: np.ndarray | None = None
+
+    @classmethod
+    def from_store_prior(cls, store: EmbeddingStore,
+                         **kwargs) -> "ServingResilience":
+        """Build a policy whose default embedding is the store's mean vector."""
+        __, matrix = store.as_matrix()
+        prior = matrix.mean(axis=0) if len(matrix) else np.zeros(store.dim)
+        return cls(default_embedding=prior, **kwargs)
+
+    def default_for(self, dim: int) -> np.ndarray:
+        if self.default_embedding is not None:
+            return np.asarray(self.default_embedding, dtype=np.float64)
+        return np.zeros(dim)
 
 
 class ServingProxy:
@@ -19,49 +74,147 @@ class ServingProxy:
     first, bulk store second, and — when a model and featurizer are attached —
     on-the-fly inference for users missing from both (freshly active users).
 
+    Passing ``resilience=ServingResilience(...)`` arms the degradation chain:
+    ``cache → store (retry + breaker) → stale snapshot → inference →
+    default embedding``.  The stale snapshot is a write-through copy of every
+    embedding the proxy has ever served from the store, so a store outage
+    degrades freshness rather than availability.  In resilient mode
+    :meth:`get_embedding` never returns ``None``.
+
     With a telemetry session installed every lookup lands in the
     ``serving.lookup_seconds`` latency histogram and a ``serving.lookups``
-    counter labelled by where the embedding came from
-    (``cache``/``store``/``inferred``/``miss``).
+    counter labelled by where the embedding came from (``cache``/``store``/
+    ``stale``/``inferred``/``default``/``miss``); store failures count into
+    ``serving.store_errors``.  The same per-source tallies are kept on
+    :attr:`source_counts` for offline inspection.
     """
 
     def __init__(self, store: EmbeddingStore, cache_capacity: int = 10000,
-                 infer_fn=None) -> None:
+                 infer_fn: Callable[[Hashable], np.ndarray | None] | None = None,
+                 resilience: ServingResilience | None = None) -> None:
         self.store = store
         self.cache = LRUCache(cache_capacity, name="serving")
         self._infer_fn = infer_fn
+        self.resilience = resilience
         self.inferences = 0
+        self.store_errors = 0
+        self.source_counts: Counter[str] = Counter()
+        self._stale: dict[Hashable, np.ndarray] = {}
+
+    # -- lookup chain ----------------------------------------------------------
+
+    def _store_get(self, user_id: Hashable) -> np.ndarray | None:
+        """One guarded store read; raises on unavailability."""
+        res = self.resilience
+        if res is None:
+            return self.store.get(user_id)
+
+        def attempt() -> np.ndarray | None:
+            if res.breaker is not None:
+                return res.breaker.call(lambda: self.store.get(user_id))
+            return self.store.get(user_id)
+
+        return res.retry.call(attempt, name="store.get")
+
+    def lookup(self, user_id: Hashable) -> tuple[np.ndarray | None, str]:
+        """Return ``(embedding, source)``; the full degradation chain.
+
+        ``source`` is one of ``cache``/``store``/``stale``/``inferred``/
+        ``default``/``miss`` (``miss`` — with a ``None`` embedding — only
+        when no resilience policy is attached).
+        """
+        with obs.latency("serving.lookup_seconds"):
+            vec, source = self._lookup(user_id)
+            obs.count("serving.lookups", source=source)
+            self.source_counts[source] += 1
+        return vec, source
+
+    def _lookup(self, user_id: Hashable) -> tuple[np.ndarray | None, str]:
+        vec = self.cache.get(user_id)
+        if vec is not None:
+            return vec, "cache"
+
+        source = None
+        try:
+            vec = self._store_get(user_id)
+            if vec is not None:
+                source = "store"
+                if self.resilience is not None:
+                    self._stale[user_id] = vec
+        except (CircuitOpenError, DeadlineExceeded) + _STORE_ERRORS:
+            self.store_errors += 1
+            obs.count("serving.store_errors")
+            stale = self._stale.get(user_id)
+            if stale is not None:
+                vec, source = stale, "stale"
+
+        if vec is None and self._infer_fn is not None:
+            vec = self._infer_fn(user_id)
+            if vec is not None:
+                self.inferences += 1
+                source = "inferred"
+                try:
+                    self.store.put(user_id, vec)
+                except _STORE_ERRORS:
+                    pass  # store write-back is best-effort
+                if self.resilience is not None:
+                    self._stale[user_id] = vec
+
+        if vec is None:
+            if self.resilience is None:
+                return None, "miss"
+            return self.resilience.default_for(self.store.dim), "default"
+        self.cache.put(user_id, vec)
+        return vec, source
+
+    # -- public API ------------------------------------------------------------
 
     def get_embedding(self, user_id: Hashable) -> np.ndarray | None:
-        """Return the user's embedding, or ``None`` when it cannot be produced."""
-        with obs.latency("serving.lookup_seconds"):
-            source = "cache"
-            vec = self.cache.get(user_id)
-            if vec is None:
-                vec = self.store.get(user_id)
-                source = "store"
-                if vec is None and self._infer_fn is not None:
-                    vec = self._infer_fn(user_id)
-                    self.inferences += 1
-                    source = "inferred"
-                    if vec is not None:
-                        self.store.put(user_id, vec)
-                if vec is not None:
-                    self.cache.put(user_id, vec)
-                else:
-                    source = "miss"
-            obs.count("serving.lookups", source=source)
-        return vec
+        """Return the user's embedding, or ``None`` when it cannot be produced.
 
-    def get_embeddings(self, user_ids) -> np.ndarray:
-        """Batch lookup; missing users raise (serving requires coverage)."""
+        With a resilience policy attached this never returns ``None`` — the
+        degradation chain bottoms out at the default embedding.
+        """
+        return self.lookup(user_id)[0]
+
+    def get_embeddings(self, user_ids,
+                       default: np.ndarray | None = None) -> np.ndarray:
+        """Batch lookup; missing users raise (serving requires coverage).
+
+        ``default`` substitutes a row for unresolvable users instead of
+        raising — the misses stay visible in the per-source metrics (and in
+        :meth:`get_embeddings_masked`'s mask).  Irrelevant in resilient mode,
+        where every lookup resolves.
+        """
         rows = []
         for uid in user_ids:
-            vec = self.get_embedding(uid)
+            vec, __ = self.lookup(uid)
             if vec is None:
-                raise KeyError(f"no embedding available for user {uid!r}")
+                if default is None:
+                    raise KeyError(f"no embedding available for user {uid!r}")
+                vec = np.asarray(default, dtype=np.float64)
             rows.append(vec)
         return np.stack(rows) if rows else np.empty((0, self.store.dim))
+
+    def get_embeddings_masked(self, user_ids) -> tuple[np.ndarray, np.ndarray]:
+        """Batch lookup returning ``(matrix, resolved_mask)``.
+
+        Rows for users the chain could not genuinely resolve (legacy-mode
+        misses, resilient-mode default rows) are filled with the default
+        embedding and flagged ``False`` in the mask — downstream ranking can
+        then weight or drop them explicitly instead of crashing.
+        """
+        dim = self.store.dim
+        filler = self.resilience.default_for(dim) if self.resilience \
+            else np.zeros(dim)
+        rows, mask = [], []
+        for uid in user_ids:
+            vec, source = self.lookup(uid)
+            resolved = source not in ("miss", "default")
+            rows.append(vec if vec is not None else filler)
+            mask.append(resolved)
+        matrix = np.stack(rows) if rows else np.empty((0, dim))
+        return matrix, np.asarray(mask, dtype=bool)
 
     @property
     def cache_hit_rate(self) -> float:

@@ -54,6 +54,20 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- checkpoint support ----------------------------------------------------
+    #
+    # Optimizer state is addressed by *parameter position* (the param list is
+    # fixed at construction), so checkpoints stay valid as long as the model
+    # is rebuilt with the same architecture — the contract resume already
+    # requires for the parameters themselves.
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Internal state as flat arrays (see ``load_state_arrays``)."""
+        return {}
+
+    def load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_arrays` (exact shapes)."""
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum.
@@ -90,6 +104,21 @@ class SGD(Optimizer):
                     self._velocity[id(p)] = vel
                     grad = vel
                 p.data -= self.lr * grad
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for i, p in enumerate(self.params):
+            vel = self._velocity.get(id(p))
+            if vel is not None:
+                out[f"vel/{i}"] = vel.copy()
+        return out
+
+    def load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self._velocity.clear()
+        for i, p in enumerate(self.params):
+            vel = arrays.get(f"vel/{i}")
+            if vel is not None:
+                self._velocity[id(p)] = np.array(vel, copy=True)
 
 
 class Adam(Optimizer):
@@ -157,3 +186,21 @@ class Adam(Optimizer):
                 v *= self.beta2
                 v += (1.0 - self.beta2) * grad ** 2
                 p.data -= step_size * m / (np.sqrt(v) + self.eps)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {"t": np.asarray(self.t, dtype=np.int64)}
+        for i, p in enumerate(self.params):
+            if id(p) in self._m:
+                out[f"m/{i}"] = self._m[id(p)].copy()
+                out[f"v/{i}"] = self._v[id(p)].copy()
+        return out
+
+    def load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self.t = int(arrays.get("t", 0))
+        self._m.clear()
+        self._v.clear()
+        for i, p in enumerate(self.params):
+            m = arrays.get(f"m/{i}")
+            if m is not None:
+                self._m[id(p)] = np.array(m, copy=True)
+                self._v[id(p)] = np.array(arrays[f"v/{i}"], copy=True)

@@ -1,0 +1,40 @@
+"""``repro.resilience`` — surviving partial failure at production scale.
+
+The paper's system trains for days on a parameter-server cluster and serves
+lookalike traffic online (§IV-D); at that scale worker loss, pre-empted jobs,
+and store misses are the normal case.  This package holds the three legs of
+the repo's fault story:
+
+* :mod:`repro.resilience.checkpoint` — atomic, digest-verified training
+  checkpoints with bit-exact resume (wired into
+  :meth:`repro.core.trainer.Trainer.fit`);
+* :mod:`repro.resilience.faults` — seeded fault schedules (worker crashes,
+  stragglers, dropped pushes, server loss) injected into the distributed
+  training simulation, plus recovery-strategy timeline modelling;
+* :mod:`repro.resilience.guards` — retry-with-backoff, deadline budgets, and
+  a circuit breaker for serving-path store lookups.
+
+Import discipline: like :mod:`repro.obs`, this package is imported from hot
+paths (`core`, `distributed`, `lookalike`) and therefore only depends on
+numpy/stdlib plus ``repro.obs`` and ``repro.utils``.
+"""
+
+from repro.resilience.checkpoint import (Checkpoint, CheckpointError,
+                                         Checkpointer, model_state_arrays,
+                                         restore_model_state)
+from repro.resilience.faults import (FaultConfig, FaultEvent, FaultKind,
+                                     FaultSchedule, FaultyRunResult,
+                                     FlakyEmbeddingStore, RecoveryStrategy,
+                                     StoreUnavailableError,
+                                     simulate_faulty_run)
+from repro.resilience.guards import (CircuitBreaker, CircuitOpenError,
+                                     DeadlineExceeded, RetryPolicy)
+
+__all__ = [
+    "Checkpoint", "CheckpointError", "Checkpointer",
+    "model_state_arrays", "restore_model_state",
+    "FaultConfig", "FaultEvent", "FaultKind", "FaultSchedule",
+    "FaultyRunResult", "RecoveryStrategy", "simulate_faulty_run",
+    "FlakyEmbeddingStore", "StoreUnavailableError",
+    "CircuitBreaker", "CircuitOpenError", "DeadlineExceeded", "RetryPolicy",
+]

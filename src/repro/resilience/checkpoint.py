@@ -1,0 +1,216 @@
+"""Crash-safe training checkpoints.
+
+The paper's production FVAE trains for days on a parameter-server cluster
+(§IV-D); at that horizon a lost worker or pre-empted job is routine, and a
+training system that cannot resume is a training system that loses days of
+work.  :class:`Checkpointer` provides the storage half of the resume story:
+
+* **atomic** — archives are staged to a temp file and ``os.replace``\\ d into
+  place (:mod:`repro.utils.fileio`), so a crash mid-save never corrupts the
+  newest-but-one checkpoint;
+* **self-verifying** — every archive carries a ``.sha256`` sidecar; a
+  truncated or bit-rotten checkpoint raises :class:`CheckpointError` on load
+  and :meth:`Checkpointer.latest` transparently falls back to the newest
+  *valid* one;
+* **bounded** — a retention policy keeps the last ``keep_last`` archives.
+
+The *content* of a training checkpoint (model parameters, optimizer moments,
+hash tables, RNG states, epoch/batch cursor) is assembled by
+:meth:`repro.core.trainer.Trainer.fit`; the helpers here
+(:func:`model_state_arrays` / :func:`restore_model_state`) capture the
+model-side state for any :class:`~repro.nn.layers.Module`-shaped model and
+know how to snapshot FVAE dynamic hash tables.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import runtime as obs
+from repro.utils.fileio import (DigestMismatchError, atomic_savez,
+                                digest_path_for, verify_digest)
+
+__all__ = ["CheckpointError", "Checkpoint", "Checkpointer",
+           "model_state_arrays", "restore_model_state"]
+
+logger = logging.getLogger(__name__)
+
+FORMAT_VERSION = 1
+
+_META_KEY = "__checkpoint_meta__"
+_TABLE_KEYS = "table_keys/"
+_TABLE_ROWS = "table_rows/"
+_PARAM = "param/"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint cannot be read: missing, corrupt, or wrong format."""
+
+
+@dataclass
+class Checkpoint:
+    """One loaded checkpoint: its path, parsed metadata, and raw arrays."""
+
+    path: Path
+    meta: dict
+    arrays: dict[str, np.ndarray]
+
+    @property
+    def step(self) -> int:
+        return int(self.meta["step"])
+
+
+class Checkpointer:
+    """Atomic, digest-verified, retention-bounded checkpoint store.
+
+    Parameters
+    ----------
+    directory:
+        Where archives live (created on first save).
+    keep_last:
+        Retention: after a successful save, only the newest ``keep_last``
+        checkpoints (and their digests) are kept.
+    prefix:
+        Archive name prefix; files are ``<prefix>-step<NNNNNNNNNN>.npz``.
+    """
+
+    def __init__(self, directory: str | Path, keep_last: int = 3,
+                 prefix: str = "ckpt") -> None:
+        if keep_last <= 0:
+            raise ValueError(f"keep_last must be positive: {keep_last}")
+        self.directory = Path(directory)
+        self.keep_last = keep_last
+        self.prefix = prefix
+
+    # -- writing ---------------------------------------------------------------
+
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-step{step:010d}.npz"
+
+    def save(self, arrays: dict[str, np.ndarray], meta: dict, step: int) -> Path:
+        """Atomically persist one checkpoint and apply the retention policy."""
+        meta = dict(meta)
+        meta.setdefault("format_version", FORMAT_VERSION)
+        meta["step"] = int(step)
+        payload = dict(arrays)
+        payload[_META_KEY] = np.asarray(json.dumps(meta))
+        path = self.path_for(step)
+        with obs.latency("checkpoint.save_seconds"):
+            atomic_savez(path, payload)
+        obs.count("checkpoint.saves")
+        obs.gauge_set("checkpoint.bytes", float(path.stat().st_size))
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        stale = self.checkpoint_paths()[:-self.keep_last]
+        for path in stale:
+            path.unlink(missing_ok=True)
+            digest_path_for(path).unlink(missing_ok=True)
+            obs.count("checkpoint.pruned")
+
+    # -- reading ---------------------------------------------------------------
+
+    def checkpoint_paths(self) -> list[Path]:
+        """All archive paths in this store, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(f"{self.prefix}-step*.npz"))
+
+    def load(self, path: str | Path) -> Checkpoint:
+        """Load and verify one checkpoint; raises :class:`CheckpointError`."""
+        path = Path(path)
+        if not path.is_file():
+            raise CheckpointError(f"no checkpoint at {path}")
+        try:
+            if digest_path_for(path).exists():
+                verify_digest(path)
+            with np.load(path, allow_pickle=True) as payload:
+                if _META_KEY not in payload.files:
+                    raise CheckpointError(
+                        f"{path} is not a checkpoint archive (no metadata)")
+                meta = json.loads(str(payload[_META_KEY]))
+                arrays = {name: payload[name] for name in payload.files
+                          if name != _META_KEY}
+        except CheckpointError:
+            raise
+        except (DigestMismatchError, OSError, ValueError,
+                json.JSONDecodeError) as exc:
+            obs.count("checkpoint.corrupt")
+            raise CheckpointError(f"checkpoint {path} is unreadable: {exc}") from exc
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format {meta.get('format_version')}; "
+                f"this build reads {FORMAT_VERSION}")
+        return Checkpoint(path=path, meta=meta, arrays=arrays)
+
+    def latest(self) -> Checkpoint | None:
+        """Newest *valid* checkpoint, skipping (and logging) corrupt ones."""
+        for path in reversed(self.checkpoint_paths()):
+            try:
+                return self.load(path)
+            except CheckpointError as exc:
+                logger.warning("skipping unreadable checkpoint: %s", exc)
+        return None
+
+
+# -- model-side state capture ---------------------------------------------------
+
+def model_state_arrays(model) -> dict[str, np.ndarray]:
+    """Snapshot a model's parameters (and FVAE hash tables) as flat arrays."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, values in model.state_dict().items():
+        arrays[f"{_PARAM}{name}"] = values
+    for field, table in _tables_of(model).items():
+        items = list(table.items())
+        arrays[f"{_TABLE_KEYS}{field}"] = np.asarray(
+            [k for k, __ in items], dtype=object)
+        arrays[f"{_TABLE_ROWS}{field}"] = np.asarray(
+            [v for __, v in items], dtype=np.int64)
+    return arrays
+
+
+def restore_model_state(model, arrays: dict[str, np.ndarray]) -> None:
+    """Restore :func:`model_state_arrays` *exactly* (shapes included).
+
+    Unlike :meth:`~repro.nn.layers.Module.load_state_dict` (which tolerates
+    grown sparse parameters), resume requires each parameter to take the
+    saved array verbatim — optimizer moments are saved at the same shapes,
+    and any extra rows would desynchronise the run from its uninterrupted
+    twin.
+    """
+    for field, table in _tables_of(model).items():
+        keys_name, rows_name = f"{_TABLE_KEYS}{field}", f"{_TABLE_ROWS}{field}"
+        if keys_name not in arrays:
+            raise CheckpointError(f"checkpoint lacks hash table for '{field}'")
+        keys = [_plain_key(k) for k in arrays[keys_name]]
+        table.load_items(keys, arrays[rows_name].tolist())
+    params = dict(model.named_parameters())
+    missing = [name for name in params if f"{_PARAM}{name}" not in arrays]
+    if missing:
+        raise CheckpointError(f"checkpoint lacks parameters: {sorted(missing)}")
+    for name, param in params.items():
+        param.data = np.array(arrays[f"{_PARAM}{name}"], copy=True)
+
+
+def _tables_of(model) -> dict[str, object]:
+    """FVAE-style dynamic hash tables keyed by field name ({} otherwise)."""
+    schema = getattr(model, "schema", None)
+    encoder = getattr(model, "encoder", None)
+    if schema is None or encoder is None or not hasattr(encoder, "bag"):
+        return {}
+    return {spec.name: encoder.bag(spec.name).table for spec in schema}
+
+
+def _plain_key(key):
+    """npz round-trips Python scalars as numpy scalars; normalise them back."""
+    if isinstance(key, np.integer):
+        return int(key)
+    if isinstance(key, np.str_):
+        return str(key)
+    return key

@@ -1,0 +1,182 @@
+"""Serving-path guards: retries with backoff, deadlines, circuit breaking.
+
+The online module (§IV-D) sits between ad requests and a bulk embedding
+store; a slow or flapping store must degrade the lookup, never the request.
+Three cooperating guards implement that:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff, capped by
+  a per-call deadline budget so tail latency stays bounded;
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive failures
+  the breaker *opens* and lookups skip the store entirely (failing over to
+  the stale snapshot / default chain) until a ``reset_seconds`` cool-down,
+  after which a single *half-open* probe decides whether to close again;
+* :class:`DeadlineExceeded` — the error surfaced when the budget runs out.
+
+Both classes take injectable ``clock``/``sleep`` callables so tests (and the
+deterministic fault-injection harness) can drive them without wall-clock
+waits.  All state changes emit counters through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.obs import runtime as obs
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "CircuitOpenError",
+           "DeadlineExceeded"]
+
+
+class DeadlineExceeded(TimeoutError):
+    """The per-call deadline budget ran out before a retry succeeded."""
+
+
+class CircuitOpenError(RuntimeError):
+    """A call was refused because the circuit breaker is open."""
+
+
+class RetryPolicy:
+    """Retry a callable with exponential backoff under a deadline budget.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries (first call included).
+    backoff_seconds:
+        Sleep before the second attempt; doubles (times ``multiplier``) each
+        retry, capped at ``max_backoff_seconds``.
+    deadline_seconds:
+        Wall-clock budget for the whole call including backoff sleeps;
+        ``None`` disables the budget.
+    retry_on:
+        Exception types considered transient; anything else propagates
+        immediately.
+    """
+
+    def __init__(self, max_attempts: int = 3, backoff_seconds: float = 0.05,
+                 multiplier: float = 2.0, max_backoff_seconds: float = 1.0,
+                 deadline_seconds: float | None = None,
+                 retry_on: tuple[type[BaseException], ...] = (Exception,),
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive: {max_attempts}")
+        if backoff_seconds < 0 or max_backoff_seconds < 0:
+            raise ValueError("backoff must be non-negative")
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self.multiplier = multiplier
+        self.max_backoff_seconds = max_backoff_seconds
+        self.deadline_seconds = deadline_seconds
+        self.retry_on = retry_on
+        self.clock = clock
+        self.sleep = sleep
+
+    def call(self, fn: Callable[[], object], name: str = "call"):
+        """Run ``fn`` with retries; raises the last error when exhausted.
+
+        Raises :class:`DeadlineExceeded` when the deadline budget would be
+        blown by waiting for another attempt.
+        """
+        start = self.clock()
+        backoff = self.backoff_seconds
+        last_error: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            if attempt > 0:
+                if self.deadline_seconds is not None and \
+                        self.clock() - start + backoff > self.deadline_seconds:
+                    obs.count("retry.deadline_exceeded", op=name)
+                    raise DeadlineExceeded(
+                        f"{name}: deadline of {self.deadline_seconds}s "
+                        f"exhausted after {attempt} attempts") from last_error
+                self.sleep(backoff)
+                backoff = min(backoff * self.multiplier,
+                              self.max_backoff_seconds)
+                obs.count("retry.attempts", op=name)
+            try:
+                return fn()
+            except self.retry_on as exc:
+                last_error = exc
+                obs.count("retry.failures", op=name)
+        assert last_error is not None
+        raise last_error
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; probe again after a cool-down.
+
+    States (the classic three):
+
+    * ``closed`` — calls flow; failures are counted, ``failure_threshold``
+      consecutive ones open the breaker.
+    * ``open`` — calls are refused (:meth:`allow` returns ``False``) until
+      ``reset_seconds`` have passed.
+    * ``half_open`` — one probe call is let through; success closes the
+      breaker, failure re-opens it and restarts the cool-down.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(self, failure_threshold: int = 5, reset_seconds: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "store") -> None:
+        if failure_threshold <= 0:
+            raise ValueError(
+                f"failure_threshold must be positive: {failure_threshold}")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.clock = clock
+        self.name = name
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.trips = 0  # total closed/half-open -> open transitions
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        obs.count("breaker.transitions", breaker=self.name, to=state)
+        obs.gauge_set("breaker.state", {self.CLOSED: 0.0, self.HALF_OPEN: 1.0,
+                                        self.OPEN: 2.0}[state],
+                      breaker=self.name)
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Open → half-open after cool-down.)"""
+        if self.state == self.OPEN:
+            if self.opened_at is not None and \
+                    self.clock() - self.opened_at >= self.reset_seconds:
+                self._transition(self.HALF_OPEN)
+                return True
+            obs.count("breaker.rejected", breaker=self.name)
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+                self.state == self.CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self.trips += 1
+            self.opened_at = self.clock()
+            self._transition(self.OPEN)
+
+    def call(self, fn: Callable[[], object]):
+        """Guarded invocation: refuse when open, record the outcome."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit '{self.name}' is open "
+                f"({self.consecutive_failures} consecutive failures)")
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

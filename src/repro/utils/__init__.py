@@ -1,6 +1,13 @@
-"""Shared utilities: deterministic RNG plumbing, timers, and logging."""
+"""Shared utilities: deterministic RNG plumbing, timers, atomic file IO."""
 
-from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.fileio import (DigestMismatchError, atomic_savez,
+                                atomic_write_bytes, verify_digest)
+from repro.utils.rng import (capture_rng_tree, get_generator_state, new_rng,
+                             restore_rng_tree, set_generator_state, spawn_rngs)
 from repro.utils.timer import Timer, timed
 
-__all__ = ["new_rng", "spawn_rngs", "Timer", "timed"]
+__all__ = ["new_rng", "spawn_rngs", "Timer", "timed",
+           "get_generator_state", "set_generator_state",
+           "capture_rng_tree", "restore_rng_tree",
+           "atomic_write_bytes", "atomic_savez", "verify_digest",
+           "DigestMismatchError"]

@@ -1,0 +1,114 @@
+"""Crash-safe file IO: atomic writes and content digests.
+
+A multi-day training run must never be left with a half-written model or
+checkpoint after a crash.  Every persistent artifact in the repo goes through
+:func:`atomic_write_bytes`: the payload is written to a temporary file *in the
+target directory* (same filesystem, so the final rename is atomic), flushed
+and fsynced, then moved into place with ``os.replace``.  Readers therefore
+see either the old file or the new file — never a torn write.
+
+Corruption that slips past the filesystem (partial disk, bit rot, truncated
+copy) is caught by content digests: :func:`atomic_savez` writes a sidecar
+``<name>.sha256`` next to the archive and :func:`verify_digest` checks it on
+read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["atomic_write_bytes", "atomic_savez", "digest_of",
+           "digest_path_for", "verify_digest", "DigestMismatchError"]
+
+_DIGEST_SUFFIX = ".sha256"
+
+
+class DigestMismatchError(IOError):
+    """A file's content no longer matches its recorded digest (corruption)."""
+
+
+def digest_of(data: bytes) -> str:
+    """Hex SHA-256 of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_path_for(path: str | Path) -> Path:
+    """Sidecar digest path for ``path`` (``model.npz`` → ``model.npz.sha256``)."""
+    path = Path(path)
+    return path.with_name(path.name + _DIGEST_SUFFIX)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the directory entry so the rename itself survives a power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+    return path
+
+
+def atomic_savez(path: str | Path, arrays: dict[str, np.ndarray],
+                 with_digest: bool = True) -> str:
+    """Atomically write an ``.npz`` archive; returns its hex SHA-256 digest.
+
+    The archive is serialised in memory first so the digest covers exactly
+    the bytes on disk.  With ``with_digest`` a ``<name>.sha256`` sidecar is
+    written (atomically, after the archive) for :func:`verify_digest`.
+    """
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    payload = buffer.getvalue()
+    digest = digest_of(payload)
+    atomic_write_bytes(path, payload)
+    if with_digest:
+        atomic_write_bytes(digest_path_for(path), (digest + "\n").encode())
+    return digest
+
+
+def verify_digest(path: str | Path, expected: str | None = None) -> str:
+    """Check ``path`` against its digest; returns the verified hex digest.
+
+    ``expected`` overrides the sidecar file.  Raises
+    :class:`DigestMismatchError` when the content does not match, and
+    :class:`FileNotFoundError` when no digest source is available.
+    """
+    path = Path(path)
+    if expected is None:
+        expected = digest_path_for(path).read_text().strip()
+    actual = digest_of(path.read_bytes())
+    if actual != expected:
+        raise DigestMismatchError(
+            f"digest mismatch for {path}: expected {expected[:12]}…, "
+            f"got {actual[:12]}… (file is corrupt or was tampered with)")
+    return actual

@@ -3,6 +3,13 @@
 Every stochastic component in the library accepts either an integer seed or a
 :class:`numpy.random.Generator`.  These helpers normalise the two and derive
 independent child generators, so experiments are reproducible end to end.
+
+For crash-safe checkpointing (:mod:`repro.resilience`) the *full* generator
+state must survive a save/restore cycle bit-for-bit:
+:func:`get_generator_state` / :func:`set_generator_state` round-trip one
+generator, and :func:`capture_rng_tree` / :func:`restore_rng_tree` walk a
+module tree and snapshot every generator found, so resumed training draws
+exactly the noise the uninterrupted run would have drawn.
 """
 
 from __future__ import annotations
@@ -30,3 +37,69 @@ def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random
         return list(root.spawn(n))
     except AttributeError:  # numpy < 1.25 has no Generator.spawn
         return [np.random.default_rng(int(root.integers(0, 2**63 - 1))) for _ in range(n)]
+
+
+# -- full-state capture/restore (checkpoint-resume determinism) ----------------
+
+def get_generator_state(rng: np.random.Generator) -> dict:
+    """Full bit-generator state of ``rng`` as a JSON-serialisable dict."""
+    return _jsonable(rng.bit_generator.state)
+
+
+def set_generator_state(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a state captured by :func:`get_generator_state` (in place)."""
+    rng.bit_generator.state = state
+    return rng
+
+
+def _jsonable(value):
+    """Deep-convert numpy scalars/arrays inside a bit-generator state dict."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _walk_generators(module, prefix: str = ""):
+    """Yield ``(path, generator)`` for every generator owned by a module tree.
+
+    Works on anything shaped like :class:`repro.nn.layers.Module` (a
+    ``_modules`` dict of children); plain attributes holding a
+    :class:`numpy.random.Generator` are discovered by scanning ``__dict__``,
+    so shared generators appear once per attribute path but can be
+    deduplicated by identity downstream.
+    """
+    for attr, value in vars(module).items():
+        if isinstance(value, np.random.Generator):
+            yield f"{prefix}{attr}", value
+    for name, child in getattr(module, "_modules", {}).items():
+        yield from _walk_generators(child, prefix=f"{prefix}{name}.")
+
+
+def capture_rng_tree(module) -> dict[str, dict]:
+    """Snapshot every generator reachable from ``module`` keyed by path."""
+    return {path: get_generator_state(gen)
+            for path, gen in _walk_generators(module)}
+
+
+def restore_rng_tree(module, states: dict[str, dict]) -> int:
+    """Restore generators captured by :func:`capture_rng_tree`.
+
+    Paths present in ``states`` but absent from the module (or vice versa)
+    are ignored — the model decides its own structure; we only rewind the
+    generators both sides agree on.  Returns the number restored.
+    """
+    restored = 0
+    for path, gen in _walk_generators(module):
+        state = states.get(path)
+        if state is not None:
+            set_generator_state(gen, state)
+            restored += 1
+    return restored

@@ -78,6 +78,56 @@ class TestSaveLoad:
         with pytest.raises(ValueError, match="unsupported model format"):
             load_fvae(path)
 
+    def test_missing_meta_rejected(self, tmp_path):
+        from repro.core.serialization import SerializationError
+
+        path = tmp_path / "model.npz"
+        np.savez(path, not_meta=np.arange(3))
+        with pytest.raises(SerializationError, match="meta"):
+            load_fvae(path)
+
+    def test_missing_meta_keys_rejected(self, tmp_path):
+        import json
+
+        from repro.core.serialization import SerializationError
+
+        path = tmp_path / "model.npz"
+        np.savez(path, meta=np.asarray(json.dumps({"format_version": 1})))
+        with pytest.raises(SerializationError, match="missing"):
+            load_fvae(path)
+
+    def test_missing_arrays_rejected(self, small_model, tmp_path):
+        from repro.core.serialization import SerializationError
+
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        with np.load(path, allow_pickle=True) as payload:
+            arrays = {k: payload[k] for k in payload.files
+                      if not k.startswith("param/")}
+        np.savez(tmp_path / "broken.npz", **arrays)
+        with pytest.raises(SerializationError):
+            load_fvae(tmp_path / "broken.npz")
+
+    def test_save_is_atomic_with_digest(self, small_model, tmp_path):
+        from repro.utils.fileio import digest_path_for, verify_digest
+
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        assert digest_path_for(path).exists()
+        verify_digest(path)
+        load_fvae(path, verify=True)
+
+    def test_verify_catches_corruption(self, small_model, tmp_path):
+        from repro.core.serialization import SerializationError
+
+        path = tmp_path / "model.npz"
+        save_fvae(small_model, path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerializationError):
+            load_fvae(path, verify=True)
+
 
 class TestWarmStartBias:
     def test_bias_matches_log_popularity(self, tiny_schema, tiny_dataset):

@@ -57,8 +57,7 @@ class TestTrainerSpans:
         assert epoch.children["forward"].count == n_batches
         assert epoch.children["backward"].count == n_batches
         assert epoch.children["optimizer_step"].count == n_batches
-        # batch_iter runs once more per epoch (the exhausted next())
-        assert epoch.children["batch_iter"].count == n_batches + 3
+        assert epoch.children["batch_iter"].count == n_batches
         assert telemetry.registry.get("trainer.users").value == 3 * 6
 
     def test_clip_span_only_when_clipping(self, tiny_schema, tiny_dataset):

@@ -1,0 +1,209 @@
+"""Crash-safe checkpointing: atomicity, corruption handling, exact resume."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import FVAE, FVAEConfig
+from repro.resilience import Checkpoint, CheckpointError, Checkpointer
+from repro.utils.fileio import (DigestMismatchError, atomic_savez,
+                                atomic_write_bytes, digest_path_for,
+                                verify_digest)
+
+
+def make_model(tiny_schema):
+    return FVAE(tiny_schema, FVAEConfig(latent_dim=4, encoder_hidden=[8],
+                                        decoder_hidden=[8], anneal_steps=5,
+                                        embedding_capacity=16, seed=0))
+
+
+class Kill(RuntimeError):
+    """Stand-in for SIGKILL: raised from a callback to abort training."""
+
+
+class KillAfterBatches:
+    def __init__(self, n_batches: int) -> None:
+        self.remaining = n_batches
+
+    def __getattr__(self, name):
+        if name.startswith("on_"):
+            return lambda *a, **k: None
+        raise AttributeError(name)
+
+    def on_batch_end(self, *args, **kwargs):
+        self.remaining -= 1
+        if self.remaining <= 0:
+            raise Kill()
+
+
+class TestAtomicFileIO:
+    def test_atomic_write_replaces_content(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"first")
+        atomic_write_bytes(target, b"second")
+        assert target.read_bytes() == b"second"
+        assert not list(tmp_path.glob("*.tmp*"))  # no temp litter
+
+    def test_savez_writes_digest_sidecar(self, tmp_path):
+        target = tmp_path / "arrays.npz"
+        atomic_savez(target, {"x": np.arange(4)})
+        assert digest_path_for(target).exists()
+        verify_digest(target)  # does not raise
+
+    def test_digest_detects_corruption(self, tmp_path):
+        target = tmp_path / "arrays.npz"
+        atomic_savez(target, {"x": np.arange(4)})
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        target.write_bytes(bytes(data))
+        with pytest.raises(DigestMismatchError):
+            verify_digest(target)
+
+
+class TestCheckpointer:
+    def _save(self, ck: Checkpointer, step: int) -> None:
+        ck.save({"w": np.full(3, float(step))}, {"note": "t"}, step=step)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        self._save(ck, 7)
+        loaded = ck.load(ck.path_for(7))
+        assert loaded.step == 7
+        np.testing.assert_array_equal(loaded.arrays["w"], np.full(3, 7.0))
+        assert loaded.meta["note"] == "t"
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        self._save(ck, 1)
+        path = ck.path_for(1)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            ck.load(path)
+
+    def test_latest_skips_corrupt(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        self._save(ck, 1)
+        self._save(ck, 2)
+        path = ck.path_for(2)
+        path.write_bytes(b"garbage")
+        latest = ck.latest()
+        assert latest is not None and latest.step == 1
+
+    def test_latest_none_when_empty(self, tmp_path):
+        assert Checkpointer(tmp_path).latest() is None
+
+    def test_retention_keeps_last_n(self, tmp_path):
+        ck = Checkpointer(tmp_path, keep_last=2)
+        for step in (1, 2, 3, 4):
+            self._save(ck, step)
+        steps = sorted(int(p.stem.split("step")[-1])
+                       for p in ck.checkpoint_paths())
+        assert steps == [3, 4]
+        # digests of pruned checkpoints are gone too
+        assert not digest_path_for(ck.path_for(1)).exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        ck = Checkpointer(tmp_path)
+        with pytest.raises(CheckpointError):
+            ck.load(tmp_path / "ckpt-step0000000009.npz")
+
+
+class TestTrainerResume:
+    """The headline guarantee: kill + resume == uninterrupted, bit for bit."""
+
+    def _run_uninterrupted(self, tiny_schema, tiny_dataset):
+        model = make_model(tiny_schema)
+        history = model.fit(tiny_dataset, epochs=3, batch_size=3,
+                            rng=0).history
+        return model, history
+
+    @pytest.mark.parametrize("kill_after", [2, 5])
+    def test_kill_and_resume_exact(self, tiny_schema, tiny_dataset, tmp_path,
+                                   kill_after):
+        ref_model, ref_history = self._run_uninterrupted(tiny_schema,
+                                                         tiny_dataset)
+        ref_state = {k: v.copy() for k, v in ref_model.state_dict().items()}
+
+        ck = Checkpointer(tmp_path, keep_last=20)
+        crashed = make_model(tiny_schema)
+        with pytest.raises(Kill):
+            crashed.fit(tiny_dataset, epochs=3, batch_size=3, rng=0,
+                        checkpointer=ck, checkpoint_every=1,
+                        callbacks=[KillAfterBatches(kill_after)])
+        assert ck.latest() is not None
+
+        resumed = make_model(tiny_schema)  # fresh process simulation
+        history = resumed.fit(tiny_dataset, epochs=3, batch_size=3, rng=0,
+                              checkpointer=ck, resume_from=True).history
+        state = resumed.state_dict()
+        assert set(state) == set(ref_state)
+        for key in ref_state:
+            np.testing.assert_array_equal(state[key], ref_state[key],
+                                          err_msg=key)
+        # history too: one record per epoch with identical losses
+        assert len(history.epochs) == len(ref_history.epochs)
+        for a, b in zip(ref_history.epochs, history.epochs):
+            assert a.loss == b.loss and a.epoch == b.epoch
+
+    def test_resume_loses_at_most_one_interval(self, tiny_schema,
+                                               tiny_dataset, tmp_path):
+        """Crash right before a checkpoint: resume replays < interval steps."""
+        every = 2
+        ck = Checkpointer(tmp_path, keep_last=20)
+        crashed = make_model(tiny_schema)
+        with pytest.raises(Kill):
+            crashed.fit(tiny_dataset, epochs=3, batch_size=3, rng=0,
+                        checkpointer=ck, checkpoint_every=every,
+                        callbacks=[KillAfterBatches(5)])
+        latest = ck.latest()
+        assert latest is not None
+        assert 5 - latest.step < every
+
+    def test_resume_from_explicit_path(self, tiny_schema, tiny_dataset,
+                                       tmp_path):
+        ck = Checkpointer(tmp_path)
+        model = make_model(tiny_schema)
+        model.fit(tiny_dataset, epochs=2, batch_size=3, rng=0,
+                  checkpointer=ck)
+        latest = ck.latest()
+        resumed = make_model(tiny_schema)
+        history = resumed.fit(tiny_dataset, epochs=3, batch_size=3, rng=0,
+                              resume_from=latest.path).history
+        assert len(history.epochs) == 3
+
+    def test_resume_true_without_checkpoints_starts_fresh(
+            self, tiny_schema, tiny_dataset, tmp_path):
+        model = make_model(tiny_schema)
+        history = model.fit(tiny_dataset, epochs=2, batch_size=3, rng=0,
+                            checkpointer=Checkpointer(tmp_path),
+                            resume_from=True).history
+        assert len(history.epochs) == 2
+
+    def test_resume_rejects_optimizer_mismatch(self, tiny_schema,
+                                               tiny_dataset, tmp_path):
+        from repro.core import Trainer
+
+        ck = Checkpointer(tmp_path)
+        Trainer(make_model(tiny_schema)).fit(tiny_dataset, epochs=1,
+                                             batch_size=3, rng=0,
+                                             checkpointer=ck)
+        sgd_trainer = Trainer(make_model(tiny_schema), optimizer="sgd")
+        with pytest.raises(CheckpointError):
+            sgd_trainer.fit(tiny_dataset, epochs=2, batch_size=3, rng=0,
+                            checkpointer=ck, resume_from=True)
+
+    def test_checkpoint_arrays_cover_tables_and_rng(self, tiny_schema,
+                                                    tiny_dataset, tmp_path):
+        ck = Checkpointer(tmp_path)
+        model = make_model(tiny_schema)
+        model.fit(tiny_dataset, epochs=1, batch_size=3, rng=0,
+                  checkpointer=ck)
+        latest = ck.latest()
+        assert any(k.startswith("table_keys/") for k in latest.arrays)
+        assert any(k.startswith("param/") for k in latest.arrays)
+        assert "rng" in latest.meta and latest.meta["rng"]

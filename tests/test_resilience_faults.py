@@ -1,0 +1,237 @@
+"""Fault-injection harness: schedules, timeline model, simulator hookup."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FVAE, FVAEConfig
+from repro.distributed import DistributedTrainingSimulator, ParameterServerCost
+from repro.lookalike import EmbeddingStore
+from repro.resilience import (FaultConfig, FaultKind, FaultSchedule,
+                              FlakyEmbeddingStore, RecoveryStrategy,
+                              StoreUnavailableError, simulate_faulty_run)
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_schedule(self):
+        config = FaultConfig(crash_rate=0.1, straggler_rate=0.1,
+                             dropped_push_rate=0.1, seed=42)
+        a = FaultSchedule.generate(50, 4, config)
+        b = FaultSchedule.generate(50, 4, config)
+        assert a.events == b.events and a.events  # reproducible & non-empty
+
+    def test_different_seed_different_schedule(self):
+        base = dict(crash_rate=0.2, straggler_rate=0.2)
+        a = FaultSchedule.generate(50, 4, FaultConfig(**base, seed=1))
+        b = FaultSchedule.generate(50, 4, FaultConfig(**base, seed=2))
+        assert a.events != b.events
+
+    def test_zero_rates_empty_schedule(self):
+        schedule = FaultSchedule.generate(100, 8, FaultConfig())
+        assert schedule.events == []
+
+    def test_server_crashes_scheduled_explicitly(self):
+        config = FaultConfig(server_crash_steps=(3, 999))
+        schedule = FaultSchedule.generate(10, 2, config)
+        assert schedule.count(FaultKind.SERVER_CRASH) == 1  # 999 out of range
+        assert schedule.at(3)[0].worker == -1
+
+    def test_crash_precludes_other_faults_same_cell(self):
+        config = FaultConfig(crash_rate=1.0, straggler_rate=1.0,
+                             dropped_push_rate=1.0)
+        schedule = FaultSchedule.generate(10, 3, config)
+        assert schedule.count(FaultKind.WORKER_CRASH) == 30
+        assert schedule.count(FaultKind.STRAGGLER) == 0
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError, match="crash_rate"):
+            FaultConfig(crash_rate=1.5)
+        with pytest.raises(ValueError, match="straggler_slowdown"):
+            FaultConfig(straggler_slowdown=0.5)
+
+
+class TestSimulateFaultyRun:
+    def _empty(self, n_steps=20, n_workers=2):
+        return FaultSchedule.generate(n_steps, n_workers, FaultConfig())
+
+    def test_no_faults_gradient_skip_zero_overhead(self):
+        result = simulate_faulty_run(
+            step_seconds=0.1, n_steps=20, n_workers=2,
+            schedule=self._empty(), strategy=RecoveryStrategy.GRADIENT_SKIP,
+            sync_seconds=0.01)
+        assert result.overhead == pytest.approx(0.0)
+        assert result.skipped_updates == 0
+
+    def test_no_faults_checkpoint_overhead_is_write_cost_only(self):
+        result = simulate_faulty_run(
+            step_seconds=0.1, n_steps=20, n_workers=2,
+            schedule=self._empty(),
+            strategy=RecoveryStrategy.CHECKPOINT_RESTART,
+            checkpoint_interval=5, checkpoint_write_seconds=0.2)
+        assert result.checkpoint_writes == 4
+        assert result.wall_clock == pytest.approx(
+            result.fault_free_wall_clock + 4 * 0.2)
+
+    def test_loss_bounded_by_checkpoint_interval(self):
+        config = FaultConfig(crash_rate=0.15, seed=3)
+        schedule = FaultSchedule.generate(200, 4, config)
+        result = simulate_faulty_run(
+            step_seconds=0.1, n_steps=200, n_workers=4, schedule=schedule,
+            strategy=RecoveryStrategy.CHECKPOINT_RESTART,
+            checkpoint_interval=10)
+        assert result.n_crashes > 0
+        assert result.max_lost_steps <= 10
+
+    def test_gradient_skip_counts_skips_not_losses(self):
+        config = FaultConfig(crash_rate=0.1, dropped_push_rate=0.1, seed=5)
+        schedule = FaultSchedule.generate(100, 4, config)
+        result = simulate_faulty_run(
+            step_seconds=0.1, n_steps=100, n_workers=4, schedule=schedule,
+            strategy=RecoveryStrategy.GRADIENT_SKIP)
+        assert result.skipped_updates == result.n_crashes + result.n_dropped
+        assert result.lost_steps == 0
+
+    def test_stragglers_stretch_wall_clock(self):
+        config = FaultConfig(straggler_rate=0.5, straggler_slowdown=3.0,
+                             seed=1)
+        schedule = FaultSchedule.generate(50, 4, config)
+        result = simulate_faulty_run(
+            step_seconds=0.1, n_steps=50, n_workers=4, schedule=schedule,
+            strategy=RecoveryStrategy.GRADIENT_SKIP)
+        assert result.n_stragglers > 0
+        assert result.wall_clock > result.fault_free_wall_clock
+
+    def test_checkpoint_restart_costs_more_time_than_skip(self):
+        config = FaultConfig(crash_rate=0.05, seed=7)
+        schedule = FaultSchedule.generate(100, 4, config)
+        kwargs = dict(step_seconds=0.1, n_steps=100, n_workers=4,
+                      schedule=schedule, checkpoint_interval=10)
+        restart = simulate_faulty_run(
+            strategy=RecoveryStrategy.CHECKPOINT_RESTART, **kwargs)
+        skip = simulate_faulty_run(
+            strategy=RecoveryStrategy.GRADIENT_SKIP, **kwargs)
+        assert restart.wall_clock > skip.wall_clock
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="recovery strategy"):
+            simulate_faulty_run(step_seconds=0.1, n_steps=1, n_workers=1,
+                                schedule=self._empty(1, 1), strategy="pray")
+
+
+class TestDegradedParameterServer:
+    def test_fewer_servers_cost_more(self):
+        cost = ParameterServerCost(n_servers=4)
+        assert cost.degraded(2).sync_cost(8, 1e6) > cost.sync_cost(8, 1e6)
+
+    def test_floor_at_one_server(self):
+        assert ParameterServerCost(n_servers=2).degraded(10).n_servers == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterServerCost().degraded(-1)
+
+
+class TestSimulatorWithFaults:
+    @pytest.fixture(scope="class")
+    def simulator(self, sc_small):
+        dataset = sc_small.dataset
+
+        def factory():
+            return FVAE(dataset.schema,
+                        FVAEConfig(latent_dim=4, encoder_hidden=[8],
+                                   decoder_hidden=[8], seed=0))
+
+        return DistributedTrainingSimulator(factory, dataset,
+                                            comm=ParameterServerCost())
+
+    def test_measure_with_faults_runs(self, simulator):
+        config = FaultConfig(crash_rate=0.05, seed=0)
+        result = simulator.measure_with_faults(
+            3, config, RecoveryStrategy.CHECKPOINT_RESTART, epochs=1,
+            batch_size=100, checkpoint_interval=2)
+        assert result.wall_clock >= result.fault_free_wall_clock > 0
+        assert result.max_lost_steps <= 2
+
+    def test_server_crash_degrades_sync(self, simulator):
+        quiet = simulator.measure_with_faults(
+            3, FaultConfig(seed=0), RecoveryStrategy.GRADIENT_SKIP,
+            epochs=1, batch_size=100)
+        degraded = simulator.measure_with_faults(
+            3, FaultConfig(server_crash_steps=(0,), seed=0),
+            RecoveryStrategy.GRADIENT_SKIP, epochs=1, batch_size=100)
+        assert degraded.wall_clock > quiet.wall_clock
+        assert degraded.overhead > quiet.overhead
+
+    def test_mismatched_schedule_rejected(self, simulator):
+        schedule = FaultSchedule.generate(3, 7, FaultConfig())
+        with pytest.raises(ValueError, match="schedule"):
+            simulator.measure_with_faults(
+                3, schedule, RecoveryStrategy.GRADIENT_SKIP, epochs=1,
+                batch_size=100)
+
+
+class TestFlakyEmbeddingStore:
+    def _store(self):
+        store = EmbeddingStore(dim=2)
+        store.put("u", np.ones(2))
+        return store
+
+    def test_failure_rate_validated(self):
+        with pytest.raises(ValueError):
+            FlakyEmbeddingStore(self._store(), failure_rate=2.0)
+
+    def test_fail_next_forces_failures(self):
+        flaky = FlakyEmbeddingStore(self._store(), failure_rate=0.0)
+        flaky.fail_next(2)
+        with pytest.raises(StoreUnavailableError):
+            flaky.get("u")
+        with pytest.raises(StoreUnavailableError):
+            flaky.get_many(["u"])
+        np.testing.assert_array_equal(flaky.get("u"), np.ones(2))
+        assert flaky.injected_failures == 2
+
+    def test_seeded_failures_reproducible(self):
+        outcomes = []
+        for __ in range(2):
+            flaky = FlakyEmbeddingStore(self._store(), failure_rate=0.5,
+                                        rng=9)
+            run = []
+            for __ in range(20):
+                try:
+                    flaky.get("u")
+                    run.append(True)
+                except StoreUnavailableError:
+                    run.append(False)
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+        assert False in outcomes[0] and True in outcomes[0]
+
+    def test_writes_pass_through(self):
+        store = self._store()
+        flaky = FlakyEmbeddingStore(store, failure_rate=1.0)
+        flaky.put("v", np.zeros(2))
+        assert "v" in store and len(flaky) == 2
+        assert flaky.dim == 2
+
+
+class TestFaultToleranceExperiment:
+    def test_overhead_table_covers_both_strategies(self):
+        from repro.experiments import ExperimentScale, run_fault_tolerance
+
+        scale = ExperimentScale(n_users=300, epochs=1, batch_size=100,
+                                latent_dim=8, seed=0)
+        result = run_fault_tolerance(scale=scale, n_workers=3,
+                                     crash_rates=(0.0, 0.1),
+                                     checkpoint_interval=2)
+        assert set(result.results) == set(RecoveryStrategy.ALL)
+        for strategy in RecoveryStrategy.ALL:
+            assert set(result.results[strategy]) == {0.0, 0.1}
+        # the rendered table names every strategy and rate
+        text = result.to_text()
+        assert "checkpoint_restart" in text and "gradient_skip" in text
+        assert "10.00%" in text
+        # a crashy run can never be cheaper than the same strategy fault-free
+        for strategy in RecoveryStrategy.ALL:
+            assert result.overhead(strategy, 0.1) >= \
+                result.overhead(strategy, 0.0)

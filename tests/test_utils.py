@@ -7,7 +7,9 @@ import time
 import numpy as np
 import pytest
 
-from repro.utils import Timer, new_rng, spawn_rngs, timed
+from repro.utils import (Timer, capture_rng_tree, get_generator_state,
+                         new_rng, restore_rng_tree, set_generator_state,
+                         spawn_rngs, timed)
 
 
 class TestRng:
@@ -120,3 +122,75 @@ class TestTimer:
         time.sleep(0.001)
         lap = timer.stop()
         assert lap < timer.elapsed  # second lap alone, not the running total
+
+
+class TestGeneratorState:
+    def test_roundtrip_reproduces_draws(self):
+        rng = new_rng(3)
+        rng.random(17)  # advance past the fresh-seed state
+        state = get_generator_state(rng)
+        expected = rng.random(8)
+        set_generator_state(rng, state)
+        np.testing.assert_array_equal(rng.random(8), expected)
+
+    def test_state_is_json_serialisable(self):
+        import json
+
+        state = get_generator_state(new_rng(0))
+        assert json.loads(json.dumps(state)) == state
+
+    def test_restore_into_fresh_generator(self):
+        a = new_rng(5)
+        a.random(9)
+        b = set_generator_state(new_rng(None), get_generator_state(a))
+        np.testing.assert_array_equal(a.random(4), b.random(4))
+
+
+class _FakeModule:
+    """Minimal Module shape: __dict__ attributes plus a _modules dict."""
+
+    def __init__(self, **attrs):
+        self._modules = {}
+        for name, value in attrs.items():
+            setattr(self, name, value)
+
+
+class TestRngTree:
+    def _tree(self):
+        child = _FakeModule(noise=new_rng(1))
+        root = _FakeModule(rng=new_rng(0))
+        root._modules["child"] = child
+        return root, child
+
+    def test_capture_finds_nested_generators(self):
+        root, __ = self._tree()
+        states = capture_rng_tree(root)
+        assert set(states) == {"rng", "child.noise"}
+
+    def test_capture_restore_roundtrip(self):
+        root, child = self._tree()
+        root.rng.random(5)
+        child.noise.random(3)
+        states = capture_rng_tree(root)
+        expected = (root.rng.random(4), child.noise.random(4))
+        root.rng.random(100)  # drift both streams
+        child.noise.random(100)
+        assert restore_rng_tree(root, states) == 2
+        np.testing.assert_array_equal(root.rng.random(4), expected[0])
+        np.testing.assert_array_equal(child.noise.random(4), expected[1])
+
+    def test_restore_ignores_unknown_paths(self):
+        root, __ = self._tree()
+        states = capture_rng_tree(root)
+        states["no.such.generator"] = states["rng"]
+        assert restore_rng_tree(root, states) == 2  # unknown path skipped
+
+    def test_shared_generator_restore_is_idempotent(self):
+        shared = new_rng(7)
+        root = _FakeModule(a=shared, b=shared)
+        shared.random(13)
+        states = capture_rng_tree(root)
+        expected = shared.random(6)
+        shared.random(50)
+        restore_rng_tree(root, states)  # restores the same object twice
+        np.testing.assert_array_equal(shared.random(6), expected)
