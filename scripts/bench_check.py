@@ -1,0 +1,113 @@
+"""CI gate on benchmark results: fail on fused/unfused speedup regressions.
+
+Usage::
+
+    python scripts/bench_check.py --current bench.json \
+        [--baseline benchmarks/results/BENCH_PR3.json] [--tolerance 0.20]
+
+Absolute milliseconds and users/sec vary wildly across CI hardware, so the
+gate is built on *relative* quantities that cancel the machine out:
+
+* ``epoch_speedup`` — fused+prefetch vs unfused+sync end-to-end throughput,
+  measured inside the same process on the same machine.  This is the number
+  the perf layer exists to move; it must stay above ``1 - tolerance`` times
+  the committed baseline's ratio (and never drop below 1.0 - tolerance in
+  absolute terms: the optimized path beating the reference path is the
+  invariant, not a particular wall-clock figure).
+* ``sampled_softmax kernel ratio`` — unfused p50 / fused p50 for the
+  forward+backward microbenchmark, same-machine by construction.
+
+Exit code 0 on pass, 1 on regression (messages on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path("benchmarks/results/BENCH_PR3.json")
+
+
+def _records(report: dict) -> dict[str, dict]:
+    return {r["op"]: r for r in report.get("results", [])}
+
+
+def _epoch_speedup(report: dict) -> float:
+    rec = _records(report).get("epoch_speedup")
+    if rec is None:
+        raise KeyError("report has no 'epoch_speedup' record")
+    return float(rec["ratio"])
+
+
+def _kernel_ratio(report: dict) -> float:
+    recs = _records(report)
+    unfused = recs.get("sampled_softmax_unfused_fwd_bwd")
+    fused = recs.get("sampled_softmax_fused_fwd_bwd")
+    if unfused is None or fused is None:
+        raise KeyError("report is missing the sampled_softmax fwd_bwd records")
+    return float(unfused["p50_ms"]) / float(fused["p50_ms"])
+
+
+def check(current: dict, baseline: dict | None, tolerance: float,
+          ) -> list[str]:
+    """Return a list of regression messages (empty means the gate passes)."""
+    failures: list[str] = []
+    floor = 1.0 - tolerance
+
+    speedup = _epoch_speedup(current)
+    if speedup < floor:
+        failures.append(
+            f"epoch_speedup {speedup:.3f} < {floor:.3f}: the fused+prefetch "
+            "path no longer beats the unfused+sync reference")
+
+    kernel = _kernel_ratio(current)
+    if kernel < floor:
+        failures.append(
+            f"sampled_softmax kernel ratio {kernel:.3f} < {floor:.3f}: the "
+            "fused kernel is slower than the unfused chain")
+
+    if baseline is not None:
+        base_speedup = _epoch_speedup(baseline)
+        if speedup < base_speedup * floor:
+            failures.append(
+                f"epoch_speedup {speedup:.3f} regressed more than "
+                f"{tolerance:.0%} vs baseline {base_speedup:.3f}")
+        base_kernel = _kernel_ratio(baseline)
+        if kernel < base_kernel * floor:
+            failures.append(
+                f"sampled_softmax kernel ratio {kernel:.3f} regressed more "
+                f"than {tolerance:.0%} vs baseline {base_kernel:.3f}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="bench JSON produced by this run")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed baseline JSON (skipped if missing)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    current = json.loads(Path(args.current).read_text())
+    baseline_path = Path(args.baseline)
+    baseline = (json.loads(baseline_path.read_text())
+                if baseline_path.exists() else None)
+    if baseline is None:
+        print(f"note: no baseline at {baseline_path}; absolute checks only",
+              file=sys.stderr)
+
+    failures = check(current, baseline, args.tolerance)
+    for message in failures:
+        print(f"REGRESSION: {message}", file=sys.stderr)
+    if not failures:
+        print(f"bench check passed: epoch_speedup={_epoch_speedup(current):.3f} "
+              f"kernel_ratio={_kernel_ratio(current):.3f}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

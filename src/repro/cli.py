@@ -7,6 +7,7 @@ Commands mirror the deployment workflow of §IV-D at example scale:
 * ``evaluate``     — tag prediction / reconstruction with a saved model
 * ``embed``        — write user embeddings from a saved model to .npz
 * ``benchmark``    — quick FVAE-vs-Mult-VAE throughput comparison
+* ``bench``        — hot-path microbenchmarks → benchmarks/results/BENCH_*.json
 * ``faults``       — fault-injected distributed training overhead table
 * ``report``       — render a telemetry JSONL dump (``train --telemetry``)
 
@@ -63,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--resume", action="store_true",
                          help="resume from the latest valid checkpoint in "
                               "--checkpoint-dir (fresh start when none)")
+    p_train.add_argument("--prefetch", type=int, default=0, metavar="DEPTH",
+                         help="prepare batches on a background thread, DEPTH "
+                              "deep (0: synchronous; training stays "
+                              "bit-identical)")
 
     p_eval = sub.add_parser("evaluate", help="evaluate a saved model")
     add_dataset_args(p_eval)
@@ -79,6 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="FVAE vs Mult-VAE training throughput")
     add_dataset_args(p_bench)
     p_bench.add_argument("--epochs", type=int, default=2)
+
+    p_microbench = sub.add_parser(
+        "bench", help="hot-path microbenchmarks (fused softmax, embedding "
+                      "bag, sparse Adam, epoch throughput)")
+    p_microbench.add_argument("--quick", action="store_true",
+                              help="fewer repeats / smaller preset (CI smoke)")
+    p_microbench.add_argument("--out", default=None, metavar="PATH",
+                              help="output JSON path (default: "
+                                   "benchmarks/results/BENCH_PR3.json)")
+    p_microbench.add_argument("--users", type=int, default=None,
+                              help="override the epoch-throughput preset size")
+    p_microbench.add_argument("--seed", type=int, default=0)
 
     p_faults = sub.add_parser(
         "faults", help="fault-injected distributed training: recovery "
@@ -143,6 +160,10 @@ def _cmd_train(args, out) -> int:
         fit_kwargs.update(checkpointer=args.checkpoint_dir,
                           checkpoint_every=args.checkpoint_every,
                           resume_from=args.resume)
+    if args.prefetch > 0:
+        from repro.perf import PrefetchLoader
+
+        fit_kwargs.update(loader=PrefetchLoader(prefetch=args.prefetch))
     if args.telemetry:
         with obs.session() as telemetry:
             model.fit(synthetic.dataset, callbacks=[obs.TelemetryCallback()],
@@ -207,6 +228,18 @@ def _cmd_benchmark(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    from repro.perf import run_bench
+    from repro.perf.bench import DEFAULT_OUTPUT, render_report
+
+    path = args.out or DEFAULT_OUTPUT
+    report = run_bench(quick=args.quick, out=path, users=args.users,
+                       seed=args.seed)
+    print(render_report(report), file=out)
+    print(f"results written to {path}", file=out)
+    return 0
+
+
 def _cmd_faults(args, out) -> int:
     from repro.experiments import run_fault_tolerance
     from repro.experiments.common import ExperimentScale
@@ -238,6 +271,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "embed": _cmd_embed,
     "benchmark": _cmd_benchmark,
+    "bench": _cmd_bench,
     "faults": _cmd_faults,
     "report": _cmd_report,
 }

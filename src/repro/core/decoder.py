@@ -66,6 +66,18 @@ class FieldOutputHead(Module):
         self.ensure_capacity(int(rows.max()) + 1 if rows.size else 0)
         return trunk @ F.rows(self.weight, rows).T + F.take(self.bias, rows)
 
+    def nll_for_rows(self, trunk: Tensor, rows: np.ndarray,
+                     targets: np.ndarray, scale: float = 1.0) -> Tensor:
+        """Fused batched-softmax NLL over the candidate rows.
+
+        One forward / one backward closure via
+        :func:`repro.nn.functional.sampled_softmax_nll`; bit-identical to
+        ``-(targets * log_softmax(logits_for_rows(...))).sum() * scale``.
+        """
+        self.ensure_capacity(int(rows.max()) + 1 if rows.size else 0)
+        return F.sampled_softmax_nll(trunk, self.weight, self.bias, rows,
+                                     targets, scale=scale)
+
     def __repr__(self) -> str:
         return f"FieldOutputHead(trunk_dim={self.trunk_dim}, capacity={self.capacity})"
 
@@ -116,6 +128,21 @@ class FieldAwareDecoder(Module):
         """Log multinomial probabilities over ``candidate_rows`` (batched softmax)."""
         logits = self._heads[field].logits_for_rows(trunk, candidate_rows)
         return F.log_softmax(logits, axis=-1)
+
+    def recon_nll(self, trunk: Tensor, field: str, candidate_rows: np.ndarray,
+                  targets: np.ndarray, scale: float = 1.0,
+                  fused: bool = True) -> Tensor:
+        """Reconstruction NLL of ``targets`` over ``candidate_rows``.
+
+        ``fused=True`` dispatches to the single-closure kernel; ``fused=False``
+        keeps the unfused reference chain (``log_probs`` → mul → sum → scale).
+        Both produce bit-identical losses and gradients.
+        """
+        if fused:
+            return self._heads[field].nll_for_rows(trunk, candidate_rows,
+                                                   targets, scale=scale)
+        log_probs = self.log_probs(trunk, field, candidate_rows)
+        return -(Tensor(targets) * log_probs).sum() * scale
 
     def full_scores(self, z_mu: np.ndarray, field: str,
                     chunk: int = 4096) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

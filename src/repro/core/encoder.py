@@ -67,10 +67,10 @@ class HashedEmbeddingBag(Module):
     def lookup(self, feature_ids: np.ndarray, grow: bool) -> np.ndarray:
         """Map raw feature ids to embedding rows; unknown ids are -1 unless growing."""
         if grow and not self.table.frozen:
-            rows = self.table.lookup(feature_ids.tolist())
+            rows = self.table.lookup_ids(feature_ids)
             self._ensure_capacity(self.table.size)
         else:
-            rows = self.table.rows_for(feature_ids.tolist())
+            rows = self.table.rows_for_ids(feature_ids)
         return rows
 
     def forward(self, batch_field: FieldBatch,
@@ -79,19 +79,19 @@ class HashedEmbeddingBag(Module):
         rows = self.lookup(batch_field.indices, grow=self.training)
         known = rows >= 0
         if known.all():
-            offsets = batch_field.offsets
-            weights = per_index_weights
-        else:
-            # Drop unknown ids and recompute the bag offsets.
-            counts = np.diff(batch_field.offsets)
-            user_of = np.repeat(np.arange(batch_field.n_users), counts)
-            rows = rows[known]
-            user_of = user_of[known]
-            new_counts = np.bincount(user_of, minlength=batch_field.n_users)
-            offsets = np.zeros(batch_field.n_users + 1, dtype=np.int64)
-            np.cumsum(new_counts, out=offsets[1:])
-            weights = None if per_index_weights is None else per_index_weights[known]
-        return F.embedding_bag(self.weight, rows, offsets, weights)
+            return F.embedding_bag(self.weight, rows, batch_field.offsets,
+                                   per_index_weights,
+                                   segment=batch_field.segment_ids())
+        # Drop unknown ids and recompute the bag offsets.
+        user_of = batch_field.segment_ids()
+        rows = rows[known]
+        user_of = user_of[known]
+        new_counts = np.bincount(user_of, minlength=batch_field.n_users)
+        offsets = np.zeros(batch_field.n_users + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=offsets[1:])
+        weights = None if per_index_weights is None else per_index_weights[known]
+        return F.embedding_bag(self.weight, rows, offsets, weights,
+                               segment=user_of)
 
     def feature_rows(self) -> tuple[np.ndarray, np.ndarray]:
         """Return parallel arrays ``(feature_ids, rows)`` of the known vocabulary."""
@@ -120,10 +120,9 @@ def _prepare_weights(batch_field: FieldBatch, mode: str) -> np.ndarray | None:
     w = np.log1p(raw)
     if mode == "log1p":
         return w
-    counts = np.diff(batch_field.offsets)
-    user_of = np.repeat(np.arange(batch_field.n_users), counts)
-    sq_sums = np.zeros(batch_field.n_users)
-    np.add.at(sq_sums, user_of, w ** 2)
+    user_of = batch_field.segment_ids()
+    sq_sums = np.bincount(user_of, weights=w ** 2,
+                          minlength=batch_field.n_users)
     norms = np.sqrt(sq_sums[user_of])
     return w / np.maximum(norms, 1e-12)
 
@@ -189,8 +188,7 @@ class FieldAwareEncoder(Module):
         """
         p = self.feature_dropout
         keep = self._feature_rng.random(fb.indices.size) >= p
-        counts = np.diff(fb.offsets)
-        user_of = np.repeat(np.arange(fb.n_users), counts)
+        user_of = fb.segment_ids()
         new_counts = np.bincount(user_of[keep], minlength=fb.n_users)
         offsets = np.zeros(fb.n_users + 1, dtype=np.int64)
         np.cumsum(new_counts, out=offsets[1:])

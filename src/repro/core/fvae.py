@@ -128,17 +128,18 @@ class FVAE(Module, UserRepresentationModel):
         diagnostics: dict[str, float] = {}
         for field, candidates in self._field_candidates(batch).items():
             table = self.encoder.bag(field).table
-            rows = table.rows_for(candidates.tolist())
+            rows = table.rows_for_ids(candidates)
             known = rows >= 0
             if not known.all():      # eval on unseen ids: score only known ones
                 candidates, rows = candidates[known], rows[known]
             if candidates.size == 0:
                 continue
-            log_probs = self.decoder.log_probs(trunk, field, rows)
             targets = batch.fields[field].dense_targets(candidates)
             if self.config.binarize_targets:
                 targets = (targets > 0).astype(np.float64)
-            nll = -(Tensor(targets) * log_probs).sum() * (1.0 / n_users)
+            nll = self.decoder.recon_nll(trunk, field, rows, targets,
+                                         scale=1.0 / n_users,
+                                         fused=self.config.fused)
             recon_terms.append((self._alphas[field], nll))
             diagnostics[f"nll_{field}"] = nll.item()
             diagnostics[f"candidates_{field}"] = float(candidates.size)

@@ -163,6 +163,7 @@ class Trainer:
             checkpointer: Checkpointer | str | Path | None = None,
             checkpoint_every: int = 0,
             resume_from: Checkpoint | Checkpointer | str | Path | bool | None = None,
+            loader=None,
             ) -> TrainHistory:
         """Train for up to ``epochs`` epochs (or until ``max_seconds`` elapse).
 
@@ -184,6 +185,12 @@ class Trainer:
         ``checkpointer``; starts fresh when none exists yet) and continues
         the interrupted run bit-deterministically — including mid-epoch, via
         the saved shuffle order and batch cursor.
+
+        ``loader`` injects a batch pipeline (see
+        :class:`~repro.perf.pipeline.BatchLoader`); ``None`` uses the
+        synchronous in-loop batcher.  Loaders receive the already-shuffled
+        epoch order and touch no RNG, so training history, RNG draws, and
+        checkpoint/resume equality are bit-identical across loaders.
         """
         if epochs <= 0:
             raise ValueError(f"epochs must be positive: {epochs}")
@@ -197,6 +204,10 @@ class Trainer:
             _attach_verbose_handler()
         if isinstance(checkpointer, (str, Path)):
             checkpointer = Checkpointer(checkpointer)
+        if loader is None:
+            from repro.perf.pipeline import SyncLoader
+
+            loader = SyncLoader()
         history = TrainHistory()
         timer = Timer()
         step = getattr(self.model, "_step", 0)
@@ -247,45 +258,57 @@ class Trainer:
             interrupted = False
             timer.start()
             with obs.span("epoch"):
-                for b in range(first_batch, total_batches):
-                    with obs.span("batch_iter"):
-                        batch = dataset.batch(
-                            order[b * batch_size:(b + 1) * batch_size])
-                    with obs.span("forward"):
-                        self.optimizer.zero_grad()
-                        loss, diag = self.model.loss_on_batch(batch, step)
-                    with obs.span("backward"):
-                        loss.backward()
-                    if self.clip_norm is not None:
-                        with obs.span("clip"):
-                            clip_grad_norm(self.optimizer.params, self.clip_norm)
-                    with obs.span("optimizer_step"):
-                        if self.lr_schedule is not None:
-                            self.optimizer.lr = self.base_lr * self.lr_schedule(step)
-                        self.optimizer.step()
-                    step += 1
-                    cursor = b + 1
-                    progress.n_seen += batch.n_users
-                    progress.losses.append(diag.get("loss", loss.item()))
-                    progress.recons.append(diag.get("recon", float("nan")))
-                    progress.kls.append(diag.get("kl", float("nan")))
-                    progress.betas.append(diag.get("beta", float("nan")))
-                    obs.count("trainer.batches")
-                    obs.count("trainer.users", batch.n_users)
-                    if checkpointer is not None and checkpoint_every \
-                            and step % checkpoint_every == 0:
-                        self._save_checkpoint(
-                            checkpointer, rng, history, step=step, epoch=epoch,
-                            cursor=cursor, order=order, progress=progress,
-                            elapsed=base_elapsed + timer.current,
-                            best_metric=best_metric, since_best=since_best)
-                    for cb in callbacks:
-                        cb.on_batch_end(self, epoch, step, progress.losses[-1],
-                                        diag)
-                    if max_seconds is not None and timer.current >= max_seconds:
-                        interrupted = True
-                        budget_exhausted = True
-                        break
+                batches = loader.epoch(dataset, order, batch_size, first_batch)
+                try:
+                    for b in range(first_batch, total_batches):
+                        with obs.span("batch_iter"):
+                            batch = next(batches)
+                        with obs.span("forward"):
+                            self.optimizer.zero_grad()
+                            loss, diag = self.model.loss_on_batch(batch, step)
+                        with obs.span("backward"):
+                            loss.backward()
+                        if self.clip_norm is not None:
+                            with obs.span("clip"):
+                                clip_grad_norm(self.optimizer.params,
+                                               self.clip_norm)
+                        with obs.span("optimizer_step"):
+                            if self.lr_schedule is not None:
+                                self.optimizer.lr = \
+                                    self.base_lr * self.lr_schedule(step)
+                            self.optimizer.step()
+                        step += 1
+                        cursor = b + 1
+                        progress.n_seen += batch.n_users
+                        progress.losses.append(diag.get("loss", loss.item()))
+                        progress.recons.append(diag.get("recon", float("nan")))
+                        progress.kls.append(diag.get("kl", float("nan")))
+                        progress.betas.append(diag.get("beta", float("nan")))
+                        obs.count("trainer.batches")
+                        obs.count("trainer.users", batch.n_users)
+                        if checkpointer is not None and checkpoint_every \
+                                and step % checkpoint_every == 0:
+                            self._save_checkpoint(
+                                checkpointer, rng, history, step=step,
+                                epoch=epoch, cursor=cursor, order=order,
+                                progress=progress,
+                                elapsed=base_elapsed + timer.current,
+                                best_metric=best_metric,
+                                since_best=since_best)
+                        for cb in callbacks:
+                            cb.on_batch_end(self, epoch, step,
+                                            progress.losses[-1], diag)
+                        if max_seconds is not None \
+                                and timer.current >= max_seconds:
+                            interrupted = True
+                            budget_exhausted = True
+                            break
+                finally:
+                    # Retire the loader (stops a prefetch worker mid-epoch on
+                    # budget break / early exit; no-op for plain generators).
+                    close = getattr(batches, "close", None)
+                    if close is not None:
+                        close()
             epoch_time = timer.stop()
 
             if interrupted and checkpointer is not None:

@@ -9,7 +9,7 @@ statistics reported in Table I.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
 import numpy as np
@@ -27,12 +27,21 @@ class FieldBatch:
 
     ``indices`` is the flat concatenation of per-user feature ids; user ``i``
     of the batch owns ``indices[offsets[i]:offsets[i+1]]``.
+
+    The derived arrays every forward pass needs — the user-id-per-index
+    segment array and the sorted unique feature set — are deterministic per
+    batch, so they are computed lazily once and cached (``embedding_bag``,
+    candidate selection, and ``dense_targets`` all reuse them instead of
+    rebuilding ``np.repeat``/``np.unique`` results each call).
     """
 
     indices: np.ndarray
     offsets: np.ndarray
     weights: np.ndarray | None
     vocab_size: int
+    _segment: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _unique: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False)
 
     @property
     def n_users(self) -> int:
@@ -42,12 +51,30 @@ class FieldBatch:
         """Features per user in this batch (``N_i^k``)."""
         return np.diff(self.offsets)
 
+    def segment_ids(self) -> np.ndarray:
+        """Batch-user index owning each flat index (cached ``np.repeat``)."""
+        if self._segment is None or self._segment.size != self.indices.size:
+            self._segment = np.repeat(np.arange(self.n_users), self.counts())
+        return self._segment
+
+    def unique_with_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``np.unique(indices, return_counts=True)``."""
+        if self._unique is None:
+            self._unique = np.unique(self.indices, return_counts=True)
+        return self._unique
+
     def unique_features(self) -> np.ndarray:
         """Sorted distinct feature ids present in the batch.
 
         This is the candidate set of the *batched softmax* (§IV-C2).
         """
-        return np.unique(self.indices)
+        return self.unique_with_counts()[0]
+
+    def warm_caches(self) -> "FieldBatch":
+        """Populate the lazy caches eagerly (prefetch-thread hook)."""
+        self.segment_ids()
+        self.unique_with_counts()
+        return self
 
     def dense_targets(self, columns: np.ndarray) -> np.ndarray:
         """Counts restricted to ``columns`` as a dense ``(B, len(columns))`` array.
@@ -64,7 +91,7 @@ class FieldBatch:
         out = np.zeros((self.n_users, columns.size))
         if not inside.any():
             return out
-        row_of = np.repeat(np.arange(self.n_users), self.counts())
+        row_of = self.segment_ids()
         vals = np.ones(self.indices.size) if self.weights is None else self.weights
         np.add.at(out, (row_of[inside], pos[inside]), vals[inside])
         return out

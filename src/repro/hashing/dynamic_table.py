@@ -37,11 +37,18 @@ class DynamicHashTable:
         and the ``hash_table.grows`` counter.
     """
 
+    # Dense integer-id mirrors above this many slots are not worth the RAM.
+    _MAX_MIRROR = 1 << 24
+
     def __init__(self, frozen: bool = False, name: str | None = None) -> None:
         self._index: dict[Hashable, int] = {}
         self.frozen = frozen
         self.name = name
         self.grows = 0  # number of ids inserted, for instrumentation
+        self._version = 0          # bumped on every mutation
+        self._mirror: np.ndarray | None = None  # dense id -> row array
+        self._mirror_version = -1
+        self._mirror_ok = True     # False: keys unsuited to a dense mirror
 
     def __len__(self) -> int:
         return len(self._index)
@@ -91,9 +98,93 @@ class DynamicHashTable:
         row = len(self._index)
         self._index[key] = row
         self.grows += 1
+        self._version += 1
         if obs.enabled():
             self._report(1)
         return row
+
+    # -- vectorised integer-id fast path ---------------------------------------
+    #
+    # Rows are always assigned densely in insertion order, so when every key
+    # is a non-negative integer the whole mapping can be mirrored as one
+    # ``id -> row`` array and a batch lookup becomes a single fancy-index.
+    # The mirror is rebuilt lazily after mutations (cheap: one vectorised
+    # scatter) and abandoned permanently for tables whose keys don't fit.
+
+    def _id_mirror(self) -> np.ndarray | None:
+        if not self._mirror_ok:
+            return None
+        if self._mirror_version != self._version:
+            n = len(self._index)
+            try:
+                keys = np.fromiter(self._index.keys(), dtype=np.int64, count=n)
+            except (TypeError, ValueError, OverflowError):
+                self._mirror_ok = False
+                self._mirror = None
+                return None
+            size = int(keys.max()) + 1 if n else 0
+            if n and (keys.min() < 0 or size > self._MAX_MIRROR):
+                self._mirror_ok = False
+                self._mirror = None
+                return None
+            mirror = np.full(size, -1, dtype=np.int64)
+            # dict values are 0..n-1 in insertion (= iteration) order
+            mirror[keys] = np.arange(n, dtype=np.int64)
+            self._mirror = mirror
+            self._mirror_version = self._version
+        return self._mirror
+
+    @staticmethod
+    def _map_ids(ids: np.ndarray, mirror: np.ndarray) -> np.ndarray:
+        if mirror.size == 0:
+            return np.full(ids.size, -1, dtype=np.int64)
+        rows = mirror[np.minimum(ids, mirror.size - 1)]
+        oob = (ids < 0) | (ids >= mirror.size)
+        if oob.any():
+            rows = np.where(oob, -1, rows)
+        return rows
+
+    def lookup_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`lookup` for an int array of ids.
+
+        Identical semantics (including insertion order: unknown ids are
+        registered in first-occurrence order) but the known-id case is a
+        single array gather instead of a Python loop.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        mirror = self._id_mirror()
+        if mirror is None:
+            return self.lookup(ids.tolist())
+        rows = self._map_ids(ids, mirror)
+        if self.frozen or (rows >= 0).all():
+            return rows
+        index = self._index
+        inserted = 0
+        for key in ids[rows < 0].tolist():
+            if key not in index:
+                index[key] = len(index)
+                inserted += 1
+        if inserted:
+            self.grows += inserted
+            self._version += 1
+            if obs.enabled():
+                self._report(inserted)
+        mirror = self._id_mirror()
+        if mirror is None:  # negative id slipped in: scalar path finishes
+            return self.rows_for(ids.tolist())
+        return self._map_ids(ids, mirror)
+
+    def rows_for_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rows_for` (never grows) for an int array."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        mirror = self._id_mirror()
+        if mirror is None:
+            return self.rows_for(ids.tolist())
+        return self._map_ids(ids, mirror)
 
     def lookup(self, keys: Iterable[Hashable]) -> np.ndarray:
         """Vectorised :meth:`lookup_one` returning an ``int64`` array.
@@ -116,6 +207,7 @@ class DynamicHashTable:
             result.append(row)
         if inserted:
             self.grows += inserted
+            self._version += 1
             if obs.enabled():
                 self._report(inserted)
         return np.asarray(result, dtype=np.int64)
@@ -154,6 +246,8 @@ class DynamicHashTable:
                     f"at position {len(index)}")
             index[key] = int(row)
         self._index = index
+        self._version += 1
+        self._mirror_ok = True  # new key set: re-judge mirror suitability
         return self
 
     def copy(self) -> "DynamicHashTable":

@@ -12,11 +12,13 @@ from repro.nn.losses import gaussian_kl, gaussian_kl_to, mse, multinomial_nll
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.schedules import (ConstantLR, CosineDecay, StepDecay,
                                 WarmupWrapper, clip_grad_norm)
-from repro.nn.tensor import Parameter, Tensor, as_tensor, is_grad_enabled, no_grad
+from repro.nn.tensor import (Parameter, Tensor, as_tensor, coalesce_rows,
+                             is_grad_enabled, no_grad, stable_sigmoid)
 
 __all__ = [
     "functional",
     "Tensor", "Parameter", "as_tensor", "no_grad", "is_grad_enabled",
+    "coalesce_rows", "stable_sigmoid",
     "Module", "Linear", "MLP", "Dropout", "Sequential", "Embedding", "LayerNorm",
     "Optimizer", "SGD", "Adam",
     "ConstantLR", "StepDecay", "CosineDecay", "WarmupWrapper", "clip_grad_norm",

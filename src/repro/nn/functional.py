@@ -23,11 +23,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.nn.tensor import Parameter, Tensor, as_tensor
+from repro.nn.tensor import (Parameter, Tensor, as_tensor, coalesce_rows,
+                             stable_sigmoid)
 
 __all__ = [
     "relu", "tanh", "sigmoid", "exp", "log", "softplus",
-    "rows", "take", "embedding_bag",
+    "rows", "take", "embedding_bag", "sampled_softmax_nll",
     "softmax", "log_softmax", "dropout", "concat", "stack_rows",
 ]
 
@@ -61,12 +62,7 @@ def softplus(x: Tensor) -> Tensor:
     data = np.maximum(x.data, 0.0) + np.log1p(np.exp(-np.abs(x.data)))
 
     def backward(grad: np.ndarray) -> None:
-        sig = np.empty_like(x.data)
-        pos = x.data >= 0
-        sig[pos] = 1.0 / (1.0 + np.exp(-x.data[pos]))
-        e = np.exp(x.data[~pos])
-        sig[~pos] = e / (1.0 + e)
-        x._accumulate(grad * sig)
+        x._accumulate(grad * stable_sigmoid(x.data))
 
     return Tensor._make(data, (x,), backward)
 
@@ -75,22 +71,40 @@ def _is_sparse_param(t: Tensor) -> bool:
     return isinstance(t, Parameter) and t.sparse
 
 
+def _scatter_grad(weight: Tensor, index: np.ndarray, grad_rows: np.ndarray,
+                  assume_unique: bool = False) -> None:
+    """Route a gather-op gradient to ``weight``.
+
+    Parameters take the coalesced path (sparse part or reusable dense
+    workspace, see :meth:`Parameter.scatter_add_grad`); plain tensors fall
+    back to a freshly allocated dense scatter.  ``assume_unique`` promises
+    ``index`` is duplicate-free, skipping the coalesce (see
+    :meth:`Parameter.add_sparse_grad`).
+    """
+    if isinstance(weight, Parameter):
+        weight.scatter_add_grad(index, grad_rows, assume_unique=assume_unique)
+        return
+    if assume_unique:
+        unique, summed = index, grad_rows
+    else:
+        unique, summed = coalesce_rows(index, grad_rows)
+    full = np.zeros_like(weight.data)
+    full[unique] += summed
+    weight._accumulate(full)
+
+
 def rows(weight: Tensor, index: np.ndarray) -> Tensor:
     """Gather ``weight[index]`` (rows of a 2-D tensor).
 
     For row-sparse parameters the gradient is recorded as a sparse part; for
-    everything else it is scattered into a dense gradient with ``np.add.at``.
+    everything else duplicate indices are coalesced with a segment sum and
+    scattered into the parameter's reusable gradient workspace.
     """
     index = np.asarray(index, dtype=np.int64)
     out_data = weight.data[index]
 
     def backward(grad: np.ndarray) -> None:
-        if _is_sparse_param(weight):
-            weight.add_sparse_grad(index, grad)
-        else:
-            full = np.zeros_like(weight.data)
-            np.add.at(full, index, grad)
-            weight._accumulate(full)
+        _scatter_grad(weight, index, grad)
 
     return Tensor._make(out_data, (weight,), backward)
 
@@ -103,18 +117,14 @@ def take(weight: Tensor, index: np.ndarray) -> Tensor:
     out_data = weight.data[index]
 
     def backward(grad: np.ndarray) -> None:
-        if _is_sparse_param(weight):
-            weight.add_sparse_grad(index, grad)
-        else:
-            full = np.zeros_like(weight.data)
-            np.add.at(full, index, grad)
-            weight._accumulate(full)
+        _scatter_grad(weight, index, grad)
 
     return Tensor._make(out_data, (weight,), backward)
 
 
 def embedding_bag(weight: Tensor, indices: np.ndarray, offsets: np.ndarray,
-                  per_index_weights: np.ndarray | None = None) -> Tensor:
+                  per_index_weights: np.ndarray | None = None,
+                  segment: np.ndarray | None = None) -> Tensor:
     """Segment-sum of embedding rows: the sparse first encoder layer.
 
     Parameters
@@ -129,6 +139,11 @@ def embedding_bag(weight: Tensor, indices: np.ndarray, offsets: np.ndarray,
         Empty bags are allowed and produce a zero row.
     per_index_weights:
         Optional multiplicative weight per index (feature weights/counts).
+    segment:
+        Optional precomputed bag-id-per-index array, i.e.
+        ``np.repeat(np.arange(B), np.diff(offsets))``.  Batches cache this
+        (see :meth:`FieldBatch.segment_ids`) so repeated forwards skip the
+        ``np.repeat`` rebuild.
 
     Returns
     -------
@@ -143,27 +158,109 @@ def embedding_bag(weight: Tensor, indices: np.ndarray, offsets: np.ndarray,
     if offsets[0] != 0 or offsets[-1] != indices.size:
         raise ValueError("offsets must start at 0 and end at len(indices)")
 
+    lengths = np.diff(offsets)
+    if segment is None:
+        # segment ids: bag index for each flat index
+        segment = np.repeat(np.arange(n_bags), lengths)
+    else:
+        segment = np.asarray(segment, dtype=np.int64)
+        if segment.size != indices.size:
+            raise ValueError("segment must have one bag id per index")
+
     gathered = weight.data[indices]
     if per_index_weights is not None:
         per_index_weights = np.asarray(per_index_weights, dtype=weight.data.dtype)
-        gathered = gathered * per_index_weights[:, None]
-    # segment ids: bag index for each flat index
-    segment = np.repeat(np.arange(n_bags), np.diff(offsets))
+        gathered *= per_index_weights[:, None]  # fresh gather: in-place safe
     out_data = np.zeros((n_bags, weight.data.shape[1]), dtype=weight.data.dtype)
-    np.add.at(out_data, segment, gathered)
+    if indices.size:
+        # Contiguous segment sum: reduceat over the starts of non-empty bags.
+        # Because every element between two non-empty starts belongs to the
+        # first one, each reduceat slice is exactly one bag; empty bags keep
+        # their zero row (reduceat would otherwise echo a single element).
+        nonempty = np.flatnonzero(lengths > 0)
+        out_data[nonempty] = np.add.reduceat(gathered, offsets[nonempty], axis=0)
 
     def backward(grad: np.ndarray) -> None:
         grad_rows = grad[segment]
         if per_index_weights is not None:
-            grad_rows = grad_rows * per_index_weights[:, None]
-        if _is_sparse_param(weight):
-            weight.add_sparse_grad(indices, grad_rows)
-        else:
-            full = np.zeros_like(weight.data)
-            np.add.at(full, indices, grad_rows)
-            weight._accumulate(full)
+            grad_rows *= per_index_weights[:, None]  # fresh gather
+        _scatter_grad(weight, indices, grad_rows)
 
     return Tensor._make(out_data, (weight,), backward)
+
+
+def sampled_softmax_nll(h: Tensor, weight: Tensor, bias: Tensor,
+                        candidate_rows: np.ndarray, targets: np.ndarray,
+                        scale: float = 1.0) -> Tensor:
+    """Fused batched-softmax reconstruction NLL over a candidate set.
+
+    Computes, in one forward and one backward closure,
+
+    .. code-block:: python
+
+        logits    = h @ weight[cand].T + bias[cand]
+        log_probs = log_softmax(logits, axis=-1)
+        nll       = -(targets * log_probs).sum() * scale
+
+    which is bit-identical to the unfused reference chain
+    ``rows → matmul → take → log_softmax → mul → sum → neg → mul`` but
+    materializes no intermediate Tensors and builds no autograd sub-graph:
+    the backward pass is a single closure producing ``h.grad`` densely and
+    row-sparse (coalesced) gradients for ``weight``/``bias``.
+
+    Parameters
+    ----------
+    h:
+        ``(B, D)`` decoder trunk activations.
+    weight, bias:
+        Output head parameters of shape ``(J, D)`` and ``(J,)``; dense or
+        row-sparse :class:`Parameter` (sparse params record coalesced parts).
+    candidate_rows:
+        ``(C,)`` int64 row ids of the batch's candidate features.
+    targets:
+        ``(B, C)`` dense target matrix aligned with ``candidate_rows``.
+    scale:
+        Multiplier applied to the summed NLL (e.g. ``1 / n_users``).
+    """
+    h = as_tensor(h)
+    cand = np.asarray(candidate_rows, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.float64)
+
+    # One (B, C) working buffer carried through logits → shifted → log_probs;
+    # every in-place step keeps the op order (and hence rounding) of the
+    # unfused ``rows → matmul → take → log_softmax → mul → sum → neg → mul``
+    # reference chain, so losses and gradients stay bit-identical to it.
+    w_rows = weight.data[cand]
+    logits = h.data @ w_rows.T
+    logits += bias.data[cand]
+    np.subtract(logits, logits.max(axis=-1, keepdims=True), out=logits)
+    e = np.exp(logits)
+    logsumexp = e.sum(axis=-1, keepdims=True)
+    np.log(logsumexp, out=logsumexp)
+    log_probs = np.subtract(logits, logsumexp, out=logits)
+    prod = np.multiply(targets, log_probs, out=e)
+    nll = -prod.sum() * scale
+
+    def backward(grad: np.ndarray) -> None:
+        coef = -(grad * scale)
+        g = coef * targets
+        soft = np.exp(log_probs)
+        soft *= g.sum(axis=-1, keepdims=True)
+        glogits = np.subtract(g, soft, out=g)
+        if h.requires_grad:
+            h._accumulate(glogits @ w_rows)
+        if weight.requires_grad:
+            # (h.T @ glogits).T — not glogits.T @ h — to replicate the
+            # reference path's transposed matmul rounding exactly; the copy
+            # makes the row-major layout the optimizer's ufuncs expect.
+            # Candidate rows are unique by construction, so the coalesce
+            # sort + segment sum is skipped outright.
+            gw = np.ascontiguousarray((h.data.T @ glogits).T)
+            _scatter_grad(weight, cand, gw, assume_unique=True)
+        if bias.requires_grad:
+            _scatter_grad(bias, cand, glogits.sum(axis=0), assume_unique=True)
+
+    return Tensor._make(np.asarray(nll), (h, weight, bias), backward)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:

@@ -14,26 +14,25 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.nn.tensor import Parameter
+from repro.nn.tensor import Parameter, coalesce_rows
 
 __all__ = ["Optimizer", "SGD", "Adam"]
 
 
 def _coalesce(parts: list[tuple[np.ndarray, np.ndarray]]) -> tuple[np.ndarray, np.ndarray]:
-    """Merge sparse gradient parts into unique rows with summed gradients."""
+    """Merge sparse gradient parts into unique rows with summed gradients.
+
+    Individual parts are duplicate-free by construction —
+    ``Parameter.add_sparse_grad`` coalesces on entry unless the caller
+    promised uniqueness — so a single part is consumed as-is (rows may be
+    unsorted, which the row-wise optimizer updates don't care about) and
+    only multi-part gradients need the cross-part coalesce.
+    """
     if len(parts) == 1:
-        rows, grads = parts[0]
-    else:
-        rows = np.concatenate([r for r, __ in parts])
-        grads = np.concatenate([g for __, g in parts])
-    unique_rows, inverse = np.unique(rows, return_inverse=True)
-    if unique_rows.size == rows.size:
-        # already unique; preserve gradient order aligned with unique_rows
-        order = np.argsort(rows, kind="stable")
-        return rows[order], grads[order]
-    summed = np.zeros((unique_rows.size,) + grads.shape[1:], dtype=grads.dtype)
-    np.add.at(summed, inverse, grads)
-    return unique_rows, summed
+        return parts[0]
+    rows = np.concatenate([r for r, __ in parts])
+    grads = np.concatenate([g for __, g in parts])
+    return coalesce_rows(rows, grads)
 
 
 class Optimizer:
@@ -171,11 +170,21 @@ class Adam(Optimizer):
                 if self.weight_decay:
                     grads = grads + self.weight_decay * p.data[rows]
                 m, v = self._state(p)
-                m_rows = self.beta1 * m[rows] + (1.0 - self.beta1) * grads
-                v_rows = self.beta2 * v[rows] + (1.0 - self.beta2) * grads ** 2
+                m_rows = m[rows]
+                m_rows *= self.beta1
+                m_rows += (1.0 - self.beta1) * grads
+                sq = np.multiply(grads, grads)  # grads stays caller-visible
+                sq *= (1.0 - self.beta2)
+                v_rows = v[rows]
+                v_rows *= self.beta2
+                v_rows += sq
                 m[rows] = m_rows
                 v[rows] = v_rows
-                p.data[rows] -= step_size * m_rows / (np.sqrt(v_rows) + self.eps)
+                denom = np.sqrt(v_rows, out=v_rows)
+                denom += self.eps
+                update = np.multiply(m_rows, step_size, out=m_rows)
+                update /= denom
+                p.data[rows] -= update
             if p.grad is not None:
                 grad = p.grad
                 if self.weight_decay:

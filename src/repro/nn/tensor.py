@@ -27,10 +27,51 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor",
+           "stable_sigmoid", "coalesce_rows"]
 
 
 _GRAD_ENABLED = True
+
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid of a raw array.
+
+    Computed from a single ``exp(-|x|)`` temporary: for ``x >= 0`` this is
+    ``1 / (1 + e^-x)``, for ``x < 0`` it is ``e^x / (1 + e^x)`` — both branches
+    share the same exponential, so no overflow and no boolean-mask fancy
+    indexing.  Shared by :meth:`Tensor.sigmoid` and
+    :func:`repro.nn.functional.softplus`'s backward pass.
+    """
+    x = np.asarray(x)
+    e = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
+
+
+def coalesce_rows(rows: np.ndarray, grads: np.ndarray,
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Sum duplicate row gradients: ``(rows, grads) -> (unique_rows, summed)``.
+
+    The segment-sum formulation — stable sort, then ``np.add.reduceat`` over
+    run starts — replaces the ``np.unique`` + ``np.add.at`` scatter, which is
+    10–100× slower on duplicate-heavy index arrays because ``np.add.at``
+    dispatches per element.  Rows come back sorted ascending; inputs that are
+    already strictly increasing are returned as-is (no copy).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    grads = np.asarray(grads)
+    if rows.size <= 1:
+        return rows, grads
+    deltas = np.diff(rows)
+    if np.all(deltas > 0):          # sorted and duplicate-free already
+        return rows, grads
+    order = np.argsort(rows, kind="stable")
+    rows = rows[order]
+    grads = grads[order]
+    starts = np.flatnonzero(np.concatenate(([True], rows[1:] != rows[:-1])))
+    if starts.size == rows.size:    # unique after sorting: nothing to sum
+        return rows, grads
+    return rows[starts], np.add.reduceat(grads, starts, axis=0)
 
 
 class no_grad:
@@ -323,6 +364,11 @@ class Tensor:
         out_data = self.data[key]
 
         def backward(grad: np.ndarray) -> None:
+            if isinstance(self, Parameter) and not self.sparse \
+                    and isinstance(key, np.ndarray) \
+                    and np.issubdtype(key.dtype, np.integer) and key.ndim == 1:
+                self.scatter_add_grad(key, grad)
+                return
             full = np.zeros_like(self.data)
             np.add.at(full, key, grad)
             self._accumulate(full)
@@ -380,11 +426,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = np.empty_like(self.data)
-        pos = self.data >= 0
-        out_data[pos] = 1.0 / (1.0 + np.exp(-self.data[pos]))
-        ex = np.exp(self.data[~pos])
-        out_data[~pos] = ex / (1.0 + ex)
+        out_data = stable_sigmoid(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -412,16 +454,83 @@ class Parameter(Tensor):
     what makes training cost independent of the vocabulary size.
     """
 
-    __slots__ = ("sparse", "sparse_grad_parts")
+    __slots__ = ("sparse", "sparse_grad_parts", "_grad_buffer")
 
     def __init__(self, data, name: str | None = None, sparse: bool = False) -> None:
         super().__init__(data, requires_grad=True, name=name)
         self.sparse = bool(sparse)
         self.sparse_grad_parts: list[tuple[np.ndarray, np.ndarray]] = []
+        self._grad_buffer: np.ndarray | None = None
 
-    def add_sparse_grad(self, rows: np.ndarray, grad_rows: np.ndarray) -> None:
-        """Record a row-sparse gradient contribution ``dL/dW[rows] += grad_rows``."""
-        self.sparse_grad_parts.append((np.asarray(rows), np.asarray(grad_rows)))
+    def add_sparse_grad(self, rows: np.ndarray, grad_rows: np.ndarray,
+                        assume_unique: bool = False) -> None:
+        """Record a row-sparse gradient contribution ``dL/dW[rows] += grad_rows``.
+
+        Duplicate rows within the part are coalesced here (sort + segment
+        sum), so the optimizer's sparse step — and gradient clipping's norm —
+        see each touched row exactly once per part.
+
+        ``assume_unique=True`` is a caller promise that ``rows`` are already
+        duplicate-free (e.g. a candidate feature set), letting the part be
+        recorded as-is: row-wise optimizer updates are independent, so only
+        the row → gradient pairing matters, not row order, and the sort +
+        segment sum here would be pure overhead.
+        """
+        if assume_unique:
+            self.sparse_grad_parts.append((rows, grad_rows))
+        else:
+            self.sparse_grad_parts.append(coalesce_rows(rows, grad_rows))
+
+    @property
+    def grad_buffer(self) -> np.ndarray:
+        """Reusable zeroed dense-gradient workspace matching ``self.data``.
+
+        Steady-state training reuses one buffer per parameter instead of
+        allocating ``np.zeros_like(data)`` every backward pass; the buffer is
+        recreated only when the parameter grows (dynamic hash tables).  Each
+        access re-zeroes the buffer, so callers get scratch space ready for
+        scatter-accumulation.
+        """
+        buf = self._grad_buffer
+        if buf is None or buf.shape != self.data.shape \
+                or buf.dtype != self.data.dtype:
+            buf = np.zeros_like(self.data)
+            self._grad_buffer = buf
+        else:
+            buf[...] = 0.0
+        return buf
+
+    def scatter_add_grad(self, index: np.ndarray, grad_rows: np.ndarray,
+                         assume_unique: bool = False) -> None:
+        """Accumulate a gather-op gradient ``dL/dW[index] += grad_rows``.
+
+        Sparse parameters record a coalesced sparse part; dense parameters
+        scatter into the reusable :attr:`grad_buffer` workspace (duplicate
+        indices pre-summed by :func:`coalesce_rows`, so the scatter is a
+        plain vectorised fancy-index add rather than ``np.add.at``).
+        ``assume_unique`` as in :meth:`add_sparse_grad`.
+        """
+        if self.sparse:
+            self.add_sparse_grad(index, grad_rows, assume_unique=assume_unique)
+            return
+        if assume_unique:
+            rows, grads = index, grad_rows
+        else:
+            rows, grads = coalesce_rows(index, grad_rows)
+        if self.grad is None:
+            buf = self.grad_buffer
+            buf[rows] += grads
+            self.grad = buf
+        elif self.grad is self._grad_buffer:
+            # The workspace already holds this parameter's gradient: scatter
+            # in place (nothing else can reference the buffer).
+            self.grad[rows] += grads
+        else:
+            # Rare: a dense op already accumulated a foreign array; keep the
+            # never-mutate-shared-grads invariant by adding a fresh scatter.
+            full = np.zeros_like(self.data)
+            full[rows] += grads
+            self._accumulate(full)
 
     def zero_grad(self) -> None:
         self.grad = None

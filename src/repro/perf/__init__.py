@@ -1,0 +1,20 @@
+"""Performance layer: prefetching batch pipeline + benchmark harness.
+
+``repro.perf`` holds the machinery that keeps the hot path honest:
+
+* :mod:`repro.perf.pipeline` — batch loaders for the trainer.
+  :class:`SyncLoader` reproduces the classic in-loop ``dataset.batch`` call;
+  :class:`PrefetchLoader` prepares the next batch (CSR slicing, segment and
+  candidate caches) on a background thread while the current batch computes —
+  NumPy releases the GIL inside matmul, so the overlap is real.  Both yield
+  **bit-identical** batches in the same order.
+* :mod:`repro.perf.bench` — the ``python -m repro bench`` microbenchmark
+  runner producing ``benchmarks/results/BENCH_*.json`` trajectories
+  (embedding_bag fwd/bwd, sampled-softmax fwd/bwd, optimizer step, and
+  end-to-end epoch throughput fused+prefetch vs the unfused reference).
+"""
+
+from repro.perf.bench import run_bench
+from repro.perf.pipeline import BatchLoader, PrefetchLoader, SyncLoader
+
+__all__ = ["BatchLoader", "SyncLoader", "PrefetchLoader", "run_bench"]

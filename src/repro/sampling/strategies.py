@@ -135,7 +135,7 @@ def select_candidates(batch_field: FieldBatch, rate: float = 1.0,
     the candidate-size telemetry (``sampling.candidates`` / ``sampling.kept``
     histograms).
     """
-    candidates, frequencies = np.unique(batch_field.indices, return_counts=True)
+    candidates, frequencies = batch_field.unique_with_counts()
     if rate >= 1.0 or candidates.size == 0:
         if obs.enabled():
             label = field or "anon"

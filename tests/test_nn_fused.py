@@ -1,0 +1,226 @@
+"""Fused sampled-softmax kernel vs the unfused reference chain.
+
+The contract of :func:`repro.nn.functional.sampled_softmax_nll` is *bit*
+equality — not tolerance equality — with the composition
+``rows → matmul → take → log_softmax → mul → sum → neg → mul``: same loss
+float, same gradient arrays for ``h`` and every parameter.  These tests pin
+that contract, check the kernel against finite differences, and property-test
+the gradient-coalescing segment sum against the ``np.add.at`` reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Parameter, Tensor, coalesce_rows
+
+VOCAB, DIM, BATCH, CAND = 64, 8, 12, 24
+
+
+def _inputs(seed: int = 0, sorted_cand: bool = True):
+    rng = np.random.default_rng(seed)
+    h_data = rng.normal(size=(BATCH, DIM))
+    w_data = rng.normal(0.0, 0.1, size=(VOCAB, DIM))
+    b_data = rng.normal(0.0, 0.1, size=VOCAB)
+    cand = rng.choice(VOCAB, size=CAND, replace=False)
+    if sorted_cand:
+        cand = np.sort(cand)
+    targets = (rng.random((BATCH, CAND)) < 0.2).astype(np.float64)
+    targets[0, 0] = 3.0  # weighted (count) targets, not just binary
+    return h_data, w_data, b_data, cand, targets
+
+
+def _unfused(h_data, w_data, b_data, cand, targets, scale, sparse):
+    h = Tensor(h_data, requires_grad=True)
+    weight = Parameter(w_data.copy(), sparse=sparse)
+    bias = Parameter(b_data.copy(), sparse=sparse)
+    logits = h @ F.rows(weight, cand).T + F.take(bias, cand)
+    nll = -(Tensor(targets) * F.log_softmax(logits, axis=-1)).sum() * scale
+    nll.backward()
+    return nll.item(), h.grad, weight, bias
+
+
+def _fused(h_data, w_data, b_data, cand, targets, scale, sparse):
+    h = Tensor(h_data, requires_grad=True)
+    weight = Parameter(w_data.copy(), sparse=sparse)
+    bias = Parameter(b_data.copy(), sparse=sparse)
+    nll = F.sampled_softmax_nll(h, weight, bias, cand, targets, scale=scale)
+    nll.backward()
+    return nll.item(), h.grad, weight, bias
+
+
+class TestFusedBitExactness:
+    """Loss and every gradient must match the reference chain bit-for-bit."""
+
+    @pytest.mark.parametrize("sparse", [True, False], ids=["sparse", "dense"])
+    @pytest.mark.parametrize("sorted_cand", [True, False],
+                             ids=["sorted", "unsorted"])
+    def test_loss_and_grads_bit_exact(self, sparse, sorted_cand):
+        h_data, w_data, b_data, cand, targets = _inputs(sorted_cand=sorted_cand)
+        scale = 1.0 / BATCH
+        ref_loss, ref_h, ref_w, ref_b = _unfused(
+            h_data, w_data, b_data, cand, targets, scale, sparse)
+        fus_loss, fus_h, fus_w, fus_b = _fused(
+            h_data, w_data, b_data, cand, targets, scale, sparse)
+
+        assert repr(ref_loss) == repr(fus_loss)
+        assert np.array_equal(ref_h, fus_h)
+        # densify_grad canonicalises part row order (the fused kernel records
+        # assume_unique parts in candidate order, the reference path may have
+        # coalesced to sorted order) without perturbing any value: each row is
+        # touched exactly once per part, so no summation reorder happens.
+        assert np.array_equal(ref_w.densify_grad(), fus_w.densify_grad())
+        assert np.array_equal(ref_b.densify_grad(), fus_b.densify_grad())
+
+    def test_sparse_params_record_single_unique_part(self):
+        h_data, w_data, b_data, cand, targets = _inputs()
+        __, __, weight, bias = _fused(
+            h_data, w_data, b_data, cand, targets, 1.0, sparse=True)
+        for param in (weight, bias):
+            assert len(param.sparse_grad_parts) == 1
+            rows, grads = param.sparse_grad_parts[0]
+            assert np.array_equal(np.sort(rows), np.unique(rows))
+            assert grads.shape[0] == rows.size
+
+    def test_scale_applied_to_loss_and_grads(self):
+        h_data, w_data, b_data, cand, targets = _inputs()
+        loss1, h1, w1, b1 = _fused(h_data, w_data, b_data, cand, targets,
+                                   1.0, sparse=False)
+        loss2, h2, w2, b2 = _fused(h_data, w_data, b_data, cand, targets,
+                                   0.25, sparse=False)
+        assert loss2 == pytest.approx(0.25 * loss1)
+        np.testing.assert_allclose(h2, 0.25 * h1, rtol=1e-12)
+        np.testing.assert_allclose(w2.densify_grad(), 0.25 * w1.densify_grad(),
+                                   rtol=1e-12)
+        np.testing.assert_allclose(b2.densify_grad(), 0.25 * b1.densify_grad(),
+                                   rtol=1e-12)
+
+
+class TestFusedFiniteDifference:
+    """The analytic gradients must agree with central differences."""
+
+    EPS = 1e-6
+
+    def _loss(self, h_data, w_data, b_data, cand, targets, scale):
+        logits = h_data @ w_data[cand].T + b_data[cand]
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1,
+                                                         keepdims=True))
+        return float(-(targets * log_probs).sum() * scale)
+
+    def test_grads_match_central_differences(self):
+        h_data, w_data, b_data, cand, targets = _inputs(seed=7)
+        scale = 1.0 / BATCH
+        __, gh, weight, bias = _fused(h_data, w_data, b_data, cand, targets,
+                                      scale, sparse=True)
+        gw = weight.densify_grad()
+        gb = bias.densify_grad()
+
+        rng = np.random.default_rng(11)
+        for __ in range(6):
+            i, j = rng.integers(BATCH), rng.integers(DIM)
+            hp, hm = h_data.copy(), h_data.copy()
+            hp[i, j] += self.EPS
+            hm[i, j] -= self.EPS
+            num = (self._loss(hp, w_data, b_data, cand, targets, scale)
+                   - self._loss(hm, w_data, b_data, cand, targets, scale)
+                   ) / (2 * self.EPS)
+            assert gh[i, j] == pytest.approx(num, abs=1e-6)
+
+        for __ in range(6):
+            r, j = cand[rng.integers(CAND)], rng.integers(DIM)
+            wp, wm = w_data.copy(), w_data.copy()
+            wp[r, j] += self.EPS
+            wm[r, j] -= self.EPS
+            num = (self._loss(h_data, wp, b_data, cand, targets, scale)
+                   - self._loss(h_data, wm, b_data, cand, targets, scale)
+                   ) / (2 * self.EPS)
+            assert gw[r, j] == pytest.approx(num, abs=1e-6)
+
+        for __ in range(6):
+            r = cand[rng.integers(CAND)]
+            bp, bm = b_data.copy(), b_data.copy()
+            bp[r] += self.EPS
+            bm[r] -= self.EPS
+            num = (self._loss(h_data, w_data, bp, cand, targets, scale)
+                   - self._loss(h_data, w_data, bm, cand, targets, scale)
+                   ) / (2 * self.EPS)
+            assert gb[r] == pytest.approx(num, abs=1e-6)
+
+    def test_rows_outside_candidates_get_zero_grad(self):
+        h_data, w_data, b_data, cand, targets = _inputs()
+        __, __, weight, bias = _fused(h_data, w_data, b_data, cand, targets,
+                                      1.0, sparse=True)
+        outside = np.setdiff1d(np.arange(VOCAB), cand)
+        assert np.all(weight.densify_grad()[outside] == 0.0)
+        assert np.all(bias.densify_grad()[outside] == 0.0)
+
+
+class TestCoalesceRows:
+    """coalesce_rows is the segment-sum replacement for np.add.at scatter."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=120),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_matches_add_at_on_duplicate_heavy_indices(self, idx, seed):
+        rows = np.asarray(idx, dtype=np.int64)
+        grads = np.random.default_rng(seed).normal(size=(rows.size, 3))
+        unique, summed = coalesce_rows(rows, grads)
+
+        reference = np.zeros((16, 3))
+        np.add.at(reference, rows, grads)
+
+        assert np.array_equal(unique, np.unique(rows))
+        dense = np.zeros((16, 3))
+        dense[unique] = summed
+        np.testing.assert_allclose(dense, reference, rtol=1e-12, atol=1e-12)
+
+    def test_sorted_unique_input_returned_unchanged(self):
+        rows = np.array([1, 4, 9], dtype=np.int64)
+        grads = np.arange(6.0).reshape(3, 2)
+        out_rows, out_grads = coalesce_rows(rows, grads)
+        assert out_rows is rows
+        assert out_grads is grads
+
+    def test_1d_grads(self):
+        rows = np.array([3, 1, 3, 1, 1], dtype=np.int64)
+        grads = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        out_rows, out_grads = coalesce_rows(rows, grads)
+        assert out_rows.tolist() == [1, 3]
+        np.testing.assert_allclose(out_grads, [11.0, 4.0])
+
+
+class TestAssumeUnique:
+    """The assume_unique fast path records parts verbatim — and is a promise."""
+
+    def test_part_recorded_as_is(self):
+        p = Parameter(np.zeros((10, 4)), sparse=True)
+        rows = np.array([7, 2, 5], dtype=np.int64)  # unsorted but unique
+        grads = np.ones((3, 4))
+        p.add_sparse_grad(rows, grads, assume_unique=True)
+        stored_rows, stored_grads = p.sparse_grad_parts[0]
+        assert stored_rows is rows
+        assert stored_grads is grads
+
+    def test_default_path_coalesces(self):
+        p = Parameter(np.zeros((10, 4)), sparse=True)
+        rows = np.array([5, 2, 5], dtype=np.int64)
+        grads = np.ones((3, 4))
+        p.add_sparse_grad(rows, grads)
+        stored_rows, stored_grads = p.sparse_grad_parts[0]
+        assert stored_rows.tolist() == [2, 5]
+        np.testing.assert_allclose(stored_grads[1], 2.0 * np.ones(4))
+
+    def test_dense_scatter_assume_unique_matches_default(self):
+        rows = np.array([4, 0, 9], dtype=np.int64)
+        grads = np.random.default_rng(3).normal(size=(3, 4))
+        a = Parameter(np.zeros((10, 4)))
+        a.scatter_add_grad(rows, grads, assume_unique=True)
+        b = Parameter(np.zeros((10, 4)))
+        b.scatter_add_grad(rows, grads)
+        assert np.array_equal(a.grad, b.grad)

@@ -11,12 +11,15 @@ from repro.nn.optim import _coalesce
 
 
 class TestCoalesce:
-    def test_single_part_sorted(self):
+    def test_single_part_passthrough(self):
+        # Parts are duplicate-free on entry (Parameter.add_sparse_grad
+        # coalesces or the caller promised uniqueness), so a single part is
+        # consumed verbatim — row order included.
         rows = np.array([3, 1])
         grads = np.array([[3.0], [1.0]])
         out_rows, out_grads = _coalesce([(rows, grads)])
-        np.testing.assert_array_equal(out_rows, [1, 3])
-        np.testing.assert_allclose(out_grads.ravel(), [1.0, 3.0])
+        assert out_rows is rows
+        assert out_grads is grads
 
     def test_duplicates_summed(self):
         parts = [
@@ -28,10 +31,20 @@ class TestCoalesce:
         np.testing.assert_allclose(grads.ravel(), [21.0, 12.0])
 
     def test_1d_grads(self):
-        parts = [(np.array([1, 1]), np.array([2.0, 3.0]))]
+        parts = [
+            (np.array([1]), np.array([2.0])),
+            (np.array([1]), np.array([3.0])),
+        ]
         rows, grads = _coalesce(parts)
         np.testing.assert_array_equal(rows, [1])
         np.testing.assert_allclose(grads, [5.0])
+
+    def test_entry_coalesce_keeps_parts_unique(self):
+        p = Parameter(np.zeros((4, 1)), sparse=True)
+        p.add_sparse_grad(np.array([1, 1, 3]), np.array([[2.0], [3.0], [4.0]]))
+        rows, grads = _coalesce(p.sparse_grad_parts)
+        np.testing.assert_array_equal(rows, [1, 3])
+        np.testing.assert_allclose(grads.ravel(), [5.0, 4.0])
 
 
 class TestSGD:
