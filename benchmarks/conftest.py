@@ -16,6 +16,19 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is a long experiment: mark it ``bench``.
+
+    The tier-1 ``addopts`` default (``-m 'not slow and not golden and not
+    bench'``) then keeps these out of ordinary ``pytest`` invocations even
+    when benchmarks/ is passed explicitly; run them with ``-m bench``.
+    """
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def save_artifact():
     """Persist a regenerated table/figure as a text file."""

@@ -1,0 +1,306 @@
+"""Differential oracles: optimised implementations vs their references.
+
+Every hot-path optimisation in this repo claims equivalence with a slower
+reference implementation (most of them *bit-exact*).  An :class:`Oracle`
+makes that claim declarative and mechanically checkable: a registered
+function builds seeded randomized inputs, runs both implementations, and
+returns ``{label: (reference, optimised)}`` array pairs; the runner asserts
+bit-exactness (``exact=True``) or tolerance-bounded closeness per pair, over
+several seeds.
+
+Future ``repro.perf`` optimisations register an oracle here instead of
+writing ad-hoc spot tests — ``python -m repro check`` and
+``tests/test_check_oracles.py`` then exercise it on every run.  See
+``docs/TESTING.md`` for the how-to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["Oracle", "OracleReport", "register_oracle", "unregister_oracle",
+           "oracle_names", "run_oracle", "run_oracles"]
+
+Pairs = Mapping[str, tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A reference↔optimised pairing checked over seeded random inputs."""
+
+    name: str
+    build: Callable[[np.random.Generator], Pairs]
+    exact: bool = True
+    rtol: float = 0.0
+    atol: float = 0.0
+    description: str = ""
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle on one seed."""
+
+    name: str
+    seed: int
+    passed: bool
+    exact: bool
+    max_abs_diff: float
+    mismatches: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        detail = "" if self.passed else "; mismatched: " + ", ".join(self.mismatches)
+        return (f"[{status}] {self.name} seed={self.seed} "
+                f"max|ref-opt|={self.max_abs_diff:.3e}{detail}")
+
+
+_ORACLES: dict[str, Oracle] = {}
+
+
+def register_oracle(name: str, *, exact: bool = True, rtol: float = 0.0,
+                    atol: float = 0.0, description: str = ""):
+    """Decorator registering ``build(rng) -> {label: (ref, opt)}``."""
+
+    def decorate(build):
+        if name in _ORACLES:
+            raise ValueError(f"duplicate oracle '{name}'")
+        _ORACLES[name] = Oracle(name=name, build=build, exact=exact,
+                                rtol=rtol, atol=atol, description=description)
+        return build
+
+    return decorate
+
+
+def unregister_oracle(name: str) -> None:
+    """Remove an oracle (test hook for temporarily registered pairings)."""
+    _ORACLES.pop(name, None)
+
+
+def oracle_names() -> list[str]:
+    return sorted(_ORACLES)
+
+
+def run_oracle(name: str, seed: int = 0) -> OracleReport:
+    """Run one oracle on one seed."""
+    oracle = _ORACLES[name]
+    pairs = oracle.build(new_rng(seed))
+    mismatches: list[str] = []
+    max_diff = 0.0
+    for label, (ref, opt) in pairs.items():
+        ref = np.asarray(ref)
+        opt = np.asarray(opt)
+        if ref.shape != opt.shape:
+            mismatches.append(f"{label} (shape {ref.shape} vs {opt.shape})")
+            max_diff = float("inf")
+            continue
+        if ref.size:
+            with np.errstate(invalid="ignore"):
+                diff = np.abs(ref.astype(np.float64, copy=False)
+                              - opt.astype(np.float64, copy=False))
+            max_diff = max(max_diff, float(diff.max()) if diff.size else 0.0)
+        if oracle.exact:
+            ok = np.array_equal(ref, opt)
+        else:
+            ok = np.allclose(ref, opt, rtol=oracle.rtol, atol=oracle.atol)
+        if not ok:
+            mismatches.append(label)
+    return OracleReport(name=name, seed=seed, passed=not mismatches,
+                        exact=oracle.exact, max_abs_diff=max_diff,
+                        mismatches=mismatches)
+
+
+def run_oracles(seeds: Iterable[int] = (0, 1, 2),
+                names: Sequence[str] | None = None) -> list[OracleReport]:
+    """Run all (or the named) oracles over every seed."""
+    selected = oracle_names() if names is None else list(names)
+    return [run_oracle(name, seed) for name in selected for seed in seeds]
+
+
+# -- built-in oracles ----------------------------------------------------------
+#
+# One per optimisation shipped in PR 3 (fused kernel, coalesced gradients,
+# prefetch pipeline, vectorised hash lookups) plus the gradient-scatter entry
+# points they rely on.  All late-bind their subjects so monkeypatched
+# implementations are what gets checked.
+
+def _softmax_case(rng: np.random.Generator, sparse: bool) -> Pairs:
+    from repro.nn import functional as F
+    from repro.nn.tensor import Parameter, Tensor
+
+    B, D, J, C = 5, 6, 12, 7
+    h_data = rng.normal(size=(B, D))
+    w_data = rng.normal(scale=0.3, size=(J, D))
+    b_data = rng.normal(scale=0.1, size=J)
+    cand = np.sort(rng.choice(J, size=C, replace=False))
+    targets = rng.integers(0, 3, size=(B, C)).astype(np.float64)
+    scale = 1.0 / B
+
+    def run(fused: bool):
+        h = Tensor(h_data.copy(), requires_grad=True)
+        weight = Parameter(w_data.copy(), name="w", sparse=sparse)
+        bias = Parameter(b_data.copy(), name="b", sparse=sparse)
+        if fused:
+            loss = F.sampled_softmax_nll(h, weight, bias, cand, targets,
+                                         scale=scale)
+        else:
+            logits = h @ F.rows(weight, cand).T + F.take(bias, cand)
+            log_probs = F.log_softmax(logits, axis=-1)
+            loss = -(Tensor(targets) * log_probs).sum() * scale
+        loss.backward()
+        return (np.asarray(loss.data).copy(), h.grad.copy(),
+                weight.densify_grad(), bias.densify_grad())
+
+    ref_loss, ref_gh, ref_gw, ref_gb = run(fused=False)
+    opt_loss, opt_gh, opt_gw, opt_gb = run(fused=True)
+    return {"loss": (ref_loss, opt_loss), "grad_h": (ref_gh, opt_gh),
+            "grad_weight": (ref_gw, opt_gw), "grad_bias": (ref_gb, opt_gb)}
+
+
+@register_oracle("nn.sampled_softmax_nll.fused_vs_unfused.dense",
+                 description="fused kernel vs rows→matmul→take→log_softmax "
+                             "chain on dense parameters (bit-exact)")
+def _oracle_fused_dense(rng: np.random.Generator) -> Pairs:
+    return _softmax_case(rng, sparse=False)
+
+
+@register_oracle("nn.sampled_softmax_nll.fused_vs_unfused.sparse",
+                 description="fused kernel vs unfused chain on row-sparse "
+                             "parameters (bit-exact)")
+def _oracle_fused_sparse(rng: np.random.Generator) -> Pairs:
+    return _softmax_case(rng, sparse=True)
+
+
+@register_oracle("tensor.coalesce_rows", exact=False, rtol=1e-12, atol=1e-12,
+                 description="sort + segment-sum coalesce vs the np.add.at "
+                             "scatter reference (equal up to float summation "
+                             "order: reduceat sums sorted runs, add.at sums "
+                             "in occurrence order)")
+def _oracle_coalesce(rng: np.random.Generator) -> Pairs:
+    from repro.nn.tensor import coalesce_rows
+
+    n_rows = 11
+    idx = rng.integers(0, n_rows, size=40)
+    grads = rng.normal(size=(40, 3))
+
+    dense_ref = np.zeros((n_rows, 3))
+    np.add.at(dense_ref, idx, grads)
+
+    unique, summed = coalesce_rows(idx, grads)
+    dense_opt = np.zeros((n_rows, 3))
+    dense_opt[unique] = summed
+
+    # Sorted-unique fast path: strictly increasing input comes back as-is.
+    sorted_idx = np.arange(0, n_rows, 2)
+    sorted_grads = rng.normal(size=(sorted_idx.size, 3))
+    u2, s2 = coalesce_rows(sorted_idx, sorted_grads)
+    return {"scatter": (dense_ref, dense_opt),
+            "unique_rows": (np.sort(np.unique(idx)), unique),
+            "sorted_passthrough_rows": (sorted_idx, u2),
+            "sorted_passthrough_grads": (sorted_grads, s2)}
+
+
+@register_oracle("tensor.scatter_add_grad.assume_unique",
+                 description="assume_unique fast path vs the coalescing "
+                             "scatter on a unique index set (bit-exact)")
+def _oracle_scatter_unique(rng: np.random.Generator) -> Pairs:
+    from repro.nn.tensor import Parameter
+
+    rows = np.sort(rng.choice(10, size=6, replace=False))
+    grads = rng.normal(size=(6, 4))
+
+    generic = Parameter(np.zeros((10, 4)), name="g")
+    generic.scatter_add_grad(rows.copy(), grads.copy())
+    fast = Parameter(np.zeros((10, 4)), name="f")
+    fast.scatter_add_grad(rows.copy(), grads.copy(), assume_unique=True)
+    return {"dense_grad": (generic.densify_grad(), fast.densify_grad())}
+
+
+@register_oracle("optim.coalesce_parts", exact=False, rtol=1e-12, atol=1e-12,
+                 description="multi-part sparse-gradient merge vs a dense "
+                             "np.add.at scatter (equal up to float summation "
+                             "order)")
+def _oracle_optim_coalesce(rng: np.random.Generator) -> Pairs:
+    from repro.nn.optim import _coalesce
+    from repro.nn.tensor import coalesce_rows
+
+    n_rows = 9
+    parts = []
+    dense = np.zeros((n_rows, 2))
+    for __ in range(3):
+        idx = rng.integers(0, n_rows, size=8)
+        grads = rng.normal(size=(8, 2))
+        np.add.at(dense, idx, grads)
+        parts.append(coalesce_rows(idx, grads))  # parts are entry-coalesced
+    rows, summed = _coalesce(parts)
+    opt = np.zeros((n_rows, 2))
+    opt[rows] = summed
+    return {"merged": (dense, opt)}
+
+
+@register_oracle("perf.prefetch_vs_sync_loader",
+                 description="PrefetchLoader batches vs SyncLoader batches "
+                             "for one shuffled epoch (bit-exact arrays)")
+def _oracle_loaders(rng: np.random.Generator) -> Pairs:
+    from repro.data import make_sc_like
+    from repro.perf.pipeline import PrefetchLoader, SyncLoader
+
+    data = make_sc_like(n_users=60, seed=int(rng.integers(0, 2 ** 31))).dataset
+    order = np.arange(len(data))
+    rng.shuffle(order)
+    sync = list(SyncLoader().epoch(data, order, batch_size=17))
+    pre = list(PrefetchLoader(prefetch=2).epoch(data, order, batch_size=17))
+
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]] = {
+        "n_batches": (np.asarray(len(sync)), np.asarray(len(pre)))}
+    for b, (s, p) in enumerate(zip(sync, pre)):
+        pairs[f"batch{b}.user_ids"] = (s.user_ids, p.user_ids)
+        for name in s.fields:
+            sf, pf = s.fields[name], p.fields[name]
+            pairs[f"batch{b}.{name}.indices"] = (sf.indices, pf.indices)
+            pairs[f"batch{b}.{name}.offsets"] = (sf.offsets, pf.offsets)
+            if sf.weights is not None:
+                pairs[f"batch{b}.{name}.weights"] = (sf.weights, pf.weights)
+    return pairs
+
+
+@register_oracle("hashing.bulk_lookup",
+                 description="vectorised id-mirror lookups vs a plain-dict "
+                             "scalar reference (bit-exact, incl. grow order)")
+def _oracle_bulk_lookup(rng: np.random.Generator) -> Pairs:
+    from repro.hashing import DynamicHashTable
+
+    universe = 40
+    warm = rng.choice(universe, size=12, replace=False)
+    query = rng.integers(0, universe + 5, size=50)  # includes unknown ids
+
+    # Reference: the dict semantics, spelled out scalar by scalar.
+    ref_index: dict[int, int] = {}
+    for key in warm.tolist():
+        ref_index.setdefault(key, len(ref_index))
+    ref_rows = []
+    for key in query.tolist():
+        if key not in ref_index:
+            ref_index[key] = len(ref_index)
+        ref_rows.append(ref_index[key])
+    ref_rows = np.asarray(ref_rows, dtype=np.int64)
+    ref_frozen = np.asarray(
+        [ref_index.get(k, -1) for k in (query - 2).tolist()], dtype=np.int64)
+
+    table = DynamicHashTable()
+    table.lookup(warm.tolist())           # scalar warm-up path
+    opt_rows = table.lookup_ids(query)    # vectorised grow path
+    opt_frozen = table.rows_for_ids(query - 2)  # vectorised no-grow path
+
+    ref_keys = np.asarray(list(ref_index.keys()), dtype=np.int64)
+    ref_vals = np.asarray(list(ref_index.values()), dtype=np.int64)
+    opt_keys = np.asarray([k for k, __ in table.items()], dtype=np.int64)
+    opt_vals = np.asarray([v for __, v in table.items()], dtype=np.int64)
+    return {"rows": (ref_rows, opt_rows),
+            "rows_no_grow": (ref_frozen, opt_frozen),
+            "insertion_keys": (ref_keys, opt_keys),
+            "insertion_rows": (ref_vals, opt_vals)}

@@ -10,6 +10,8 @@ Commands mirror the deployment workflow of §IV-D at example scale:
 * ``bench``        — hot-path microbenchmarks → benchmarks/results/BENCH_*.json
 * ``faults``       — fault-injected distributed training overhead table
 * ``report``       — render a telemetry JSONL dump (``train --telemetry``)
+* ``check``        — correctness verification: gradcheck coverage sweep,
+  differential oracles, and golden-digest comparison (``repro.check``)
 
 ``train`` grows crash-safety flags: ``--checkpoint-dir`` /
 ``--checkpoint-every`` write atomic checkpoints during training and
@@ -110,6 +112,24 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="STEPS",
                           help="steps between checkpoints for the "
                                "checkpoint_restart strategy")
+
+    p_check = sub.add_parser(
+        "check", help="correctness verification: op-coverage gradchecks, "
+                      "differential oracles, golden-run digests")
+    p_check.add_argument("--quick", action="store_true",
+                         help="small golden preset + fastest dataset digest "
+                              "only (CI smoke; gradchecks and oracles always "
+                              "run in full)")
+    p_check.add_argument("--update-golden", action="store_true",
+                         help="regenerate benchmarks/golden/ baselines "
+                              "instead of checking against them")
+    p_check.add_argument("--seed", type=int, default=0,
+                         help="base seed for gradcheck cases and digests")
+    p_check.add_argument("--oracle-seeds", type=int, default=3,
+                         metavar="N", help="seeds per differential oracle "
+                                           "(default: 3)")
+    p_check.add_argument("--golden-dir", default=None, metavar="DIR",
+                         help="override the golden baseline directory")
 
     p_report = sub.add_parser("report",
                               help="render a telemetry JSONL dump as tables")
@@ -265,6 +285,58 @@ def _cmd_report(args, out) -> int:
     return 0
 
 
+def _cmd_check(args, out) -> int:
+    from repro import check
+
+    if args.update_golden:
+        paths = check.update_golden(directory=args.golden_dir,
+                                    seed=args.seed)
+        for path in paths:
+            print(f"golden baseline written: {path}", file=out)
+        print("review the diff and commit it only if the change in model, "
+              "data, or training semantics is intended", file=out)
+        return 0
+
+    failures = 0
+
+    uncovered = check.uncovered_ops()
+    reports = check.run_gradchecks(seed=args.seed)
+    bad = [r for r in reports if not r.passed]
+    failures += len(uncovered) + len(bad)
+    print(f"gradcheck: {len(reports)} cases over "
+          f"{len(check.required_ops())} ops — "
+          f"{len(bad)} failed, {len(uncovered)} uncovered", file=out)
+    for op in sorted(uncovered):
+        print(f"  UNCOVERED {op}: register a gradcheck case", file=out)
+    for report in bad:
+        print(f"  {report}", file=out)
+
+    seeds = tuple(range(args.seed, args.seed + args.oracle_seeds))
+    oracle_reports = check.run_oracles(seeds=seeds)
+    bad = [r for r in oracle_reports if not r.passed]
+    failures += len(bad)
+    print(f"oracles: {len(oracle_reports)} runs "
+          f"({len(check.oracle_names())} oracles x {len(seeds)} seeds) "
+          f"— {len(bad)} failed", file=out)
+    for report in bad:
+        print(f"  {report}", file=out)
+
+    problems = check.check_golden(quick=args.quick,
+                                  directory=args.golden_dir,
+                                  seed=args.seed)
+    failures += len(problems)
+    mode = "quick" if args.quick else "full"
+    print(f"golden ({mode}): {len(problems)} divergences", file=out)
+    for problem in problems[:20]:
+        print(f"  {problem}", file=out)
+    if len(problems) > 20:
+        print(f"  ... and {len(problems) - 20} more", file=out)
+
+    print("check: PASS" if not failures else f"check: FAIL ({failures})",
+          file=out)
+    return 0 if not failures else 1
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "train": _cmd_train,
@@ -274,6 +346,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "faults": _cmd_faults,
     "report": _cmd_report,
+    "check": _cmd_check,
 }
 
 

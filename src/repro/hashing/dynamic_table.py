@@ -138,7 +138,7 @@ class DynamicHashTable:
     def _map_ids(ids: np.ndarray, mirror: np.ndarray) -> np.ndarray:
         if mirror.size == 0:
             return np.full(ids.size, -1, dtype=np.int64)
-        rows = mirror[np.minimum(ids, mirror.size - 1)]
+        rows = mirror[np.clip(ids, 0, mirror.size - 1)]
         oob = (ids < 0) | (ids >= mirror.size)
         if oob.any():
             rows = np.where(oob, -1, rows)
@@ -249,6 +249,42 @@ class DynamicHashTable:
         self._version += 1
         self._mirror_ok = True  # new key set: re-judge mirror suitability
         return self
+
+    def verify_bijection(self) -> list[str]:
+        """Check the id↔row bijection invariants; returns problem strings.
+
+        The table promises (a) rows are the dense range ``0..n-1``, (b) rows
+        are assigned in insertion order (dict iteration order — checkpoint
+        restore and embedding growth both rely on it), and (c) any built
+        integer-id mirror agrees with the dict.  Used by
+        :mod:`repro.check.invariants`; an empty list means the table is
+        consistent.
+        """
+        problems: list[str] = []
+        n = len(self._index)
+        rows = np.fromiter(self._index.values(), dtype=np.int64, count=n)
+        if not np.array_equal(rows, np.arange(n, dtype=np.int64)):
+            dense = (n == 0 or (np.unique(rows).size == n
+                                and rows.min() == 0 and rows.max() == n - 1))
+            if dense:
+                problems.append(
+                    "rows are dense but not in insertion order")
+            else:
+                problems.append(
+                    f"rows are not the dense range 0..{n - 1}")
+        if self._mirror is not None and self._mirror_version == self._version:
+            mirror = self._mirror
+            occupied = int((mirror >= 0).sum())
+            if occupied != n:
+                problems.append(
+                    f"mirror holds {occupied} rows but the dict holds {n}")
+            else:
+                for key, row in self._index.items():
+                    if not (0 <= key < mirror.size) or mirror[key] != row:
+                        problems.append(
+                            f"mirror disagrees with dict at id {key!r}")
+                        break
+        return problems
 
     def copy(self) -> "DynamicHashTable":
         clone = DynamicHashTable(frozen=self.frozen, name=self.name)

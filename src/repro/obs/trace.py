@@ -7,13 +7,16 @@ and the summed wall-clock.  This is exactly the per-stage cost breakdown the
 paper's efficiency argument is built on (where does a training step spend its
 time: hash lookup, candidate sampling, batched softmax, sparse update?).
 
-Timing uses ``time.perf_counter``; the tree *structure* and visit counts are
-deterministic for a fixed workload even though durations vary run to run.
+Timing uses ``time.perf_counter`` by default; the tree *structure* and visit
+counts are deterministic for a fixed workload even though durations vary run
+to run.  Tests inject ``SpanTracer(clock=...)`` (e.g. a
+:class:`repro.utils.ManualClock`) to make durations deterministic too.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 __all__ = ["SpanNode", "SpanTracer"]
 
@@ -68,11 +71,11 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self._tracer._stack.append(self._node)
-        self._start = time.perf_counter()
+        self._start = self._tracer._clock()
         return self
 
     def __exit__(self, *exc) -> None:
-        elapsed = time.perf_counter() - self._start
+        elapsed = self._tracer._clock() - self._start
         node = self._node
         node.count += 1
         node.total += elapsed
@@ -89,7 +92,8 @@ class _Span:
 class SpanTracer:
     """Aggregating tracer: a stack of open spans over a tree of totals."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
         self.root = SpanNode("root")
         self._stack: list[SpanNode] = [self.root]
 

@@ -66,6 +66,19 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
 
 
+@pytest.fixture()
+def freeze_clock():
+    """A ManualClock at t=0: inject as ``clock=`` and advance by hand.
+
+    Timing-sensitive tests must never sleep and assert on real wall-clock;
+    every timed component (``Timer``, ``timed``, ``SpanTracer``,
+    ``RetryPolicy``, ``CircuitBreaker``) accepts an injectable clock.
+    """
+    from repro.utils import ManualClock
+
+    return ManualClock()
+
+
 @pytest.fixture(autouse=True)
 def _no_leaked_telemetry():
     """Guarantee no test leaves a process-wide telemetry session installed."""

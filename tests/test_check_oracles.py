@@ -1,0 +1,83 @@
+"""repro.check.oracles: differential oracles hold; broken impls are caught."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check import oracle_names, run_oracle, run_oracles
+from repro.check.oracles import register_oracle, unregister_oracle
+
+
+class TestBuiltinOracles:
+    def test_every_oracle_holds_on_three_seeds(self):
+        reports = run_oracles(seeds=(0, 1, 2))
+        failed = [r for r in reports if not r.passed]
+        assert not failed, "\n".join(str(r) for r in failed)
+        assert len(reports) == 3 * len(oracle_names())
+
+    def test_fused_unfused_is_bit_exact(self):
+        for name in ("nn.sampled_softmax_nll.fused_vs_unfused.dense",
+                     "nn.sampled_softmax_nll.fused_vs_unfused.sparse"):
+            report = run_oracle(name, seed=3)
+            assert report.passed
+            assert report.exact
+            assert report.max_abs_diff == 0.0
+
+    def test_coalesce_oracle_is_tolerance_bounded(self):
+        # sort+reduceat vs add.at differ in float summation order by design
+        report = run_oracle("tensor.coalesce_rows", seed=0)
+        assert report.passed and not report.exact
+
+    def test_loader_oracle_covers_all_batches(self):
+        report = run_oracle("perf.prefetch_vs_sync_loader", seed=0)
+        assert report.passed
+        assert report.max_abs_diff == 0.0
+
+    def test_report_rendering(self):
+        report = run_oracle("hashing.bulk_lookup", seed=1)
+        text = str(report)
+        assert "hashing.bulk_lookup" in text and "seed=1" in text and "ok" in text
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register_oracle("tensor.coalesce_rows")(lambda rng: {})
+
+    def test_broken_optimisation_is_caught(self):
+        @register_oracle("test.broken_pair", exact=True)
+        def _broken(rng):
+            ref = rng.normal(size=5)
+            return {"value": (ref, ref + 1e-9)}  # "optimised" impl drifts
+
+        try:
+            report = run_oracle("test.broken_pair", seed=0)
+            assert not report.passed
+            assert report.mismatches == ["value"]
+            assert "FAIL" in str(report)
+        finally:
+            unregister_oracle("test.broken_pair")
+
+    def test_shape_mismatch_is_caught(self):
+        @register_oracle("test.shape_pair")
+        def _shapes(rng):
+            return {"value": (np.zeros(3), np.zeros(4))}
+
+        try:
+            report = run_oracle("test.shape_pair", seed=0)
+            assert not report.passed
+            assert "shape" in report.mismatches[0]
+        finally:
+            unregister_oracle("test.shape_pair")
+
+    def test_tolerance_oracle_accepts_small_drift(self):
+        @register_oracle("test.tol_pair", exact=False, rtol=1e-6, atol=1e-9)
+        def _tol(rng):
+            ref = rng.normal(size=5)
+            return {"value": (ref, ref * (1.0 + 1e-8))}
+
+        try:
+            assert run_oracle("test.tol_pair", seed=0).passed
+        finally:
+            unregister_oracle("test.tol_pair")

@@ -1,0 +1,62 @@
+"""Seed-stability goldens for the synthetic presets.
+
+The committed digests in ``benchmarks/golden/GOLDEN_datasets.json`` pin the
+row-nnz distribution, per-field vocab coverage, and persona tag overlap of
+``make_sc_like`` / ``make_kd_like`` / ``make_qb_like`` at their default
+sizes.  A refactor of the generators that silently changes the data (a
+different draw order, a changed block layout) fails here even if every
+marginal *type* check still passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import golden as g
+
+
+class TestDigestContents:
+    def test_sc_digest_structure(self):
+        digest = g.dataset_digests(presets=("sc",))["sc"]
+        assert digest["fields"] == ["ch1", "ch2", "ch3", "tag"]
+        tag = digest["per_field"]["tag"]
+        assert tag["vocab"] == 4096
+        assert 0.0 < tag["vocab_coverage"] <= 1.0
+        assert tag["row_nnz_min"] <= tag["row_nnz_p50"] <= tag["row_nnz_max"]
+
+    def test_personas_are_structural(self):
+        # Users sharing a persona must overlap in tags far more than
+        # strangers — this is what makes the data non-trivially clusterable.
+        persona = g.dataset_digests(presets=("sc",))["sc"]["persona"]
+        assert persona["within_jaccard"] > 2 * persona["between_jaccard"]
+
+    def test_digests_deterministic_per_seed(self):
+        assert g.dataset_digests(presets=("sc",)) == \
+            g.dataset_digests(presets=("sc",))
+
+    def test_digests_change_with_seed(self):
+        base = g.dataset_digests(presets=("sc",), seed=0)
+        other = g.dataset_digests(presets=("sc",), seed=1)
+        assert g.compare_dataset_digests(base, other) != []
+
+
+class TestCommittedDatasetGoldens:
+    def test_sc_matches_committed_golden(self):
+        golden = g.load_golden(g.DATASET_GOLDEN)["datasets"]
+        actual = g.dataset_digests(presets=("sc",))
+        problems = g.compare_dataset_digests({"sc": golden["sc"]}, actual)
+        assert problems == [], "\n".join(problems)
+
+    @pytest.mark.golden
+    @pytest.mark.parametrize("preset", ["kd", "qb"])
+    def test_large_presets_match_committed_golden(self, preset):
+        golden = g.load_golden(g.DATASET_GOLDEN)["datasets"]
+        actual = g.dataset_digests(presets=(preset,))
+        problems = g.compare_dataset_digests({preset: golden[preset]}, actual)
+        assert problems == [], "\n".join(problems)
+
+    def test_mutated_digest_is_caught(self):
+        golden = g.load_golden(g.DATASET_GOLDEN)["datasets"]
+        mutated = g.dataset_digests(presets=("sc",))
+        mutated["sc"]["per_field"]["tag"]["nnz"] += 1
+        assert g.compare_dataset_digests({"sc": golden["sc"]}, mutated) != []

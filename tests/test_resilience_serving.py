@@ -9,17 +9,7 @@ from repro.lookalike import EmbeddingStore, ServingProxy, ServingResilience
 from repro.resilience import (CircuitBreaker, CircuitOpenError,
                               DeadlineExceeded, FlakyEmbeddingStore,
                               RetryPolicy, StoreUnavailableError)
-
-
-class FakeClock:
-    def __init__(self) -> None:
-        self.now = 0.0
-
-    def __call__(self) -> float:
-        return self.now
-
-    def sleep(self, seconds: float) -> None:
-        self.now += seconds
+from repro.utils import ManualClock as FakeClock
 
 
 def fast_retry(**kwargs) -> RetryPolicy:

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
 
-from repro.utils import (Timer, capture_rng_tree, get_generator_state,
-                         new_rng, restore_rng_tree, set_generator_state,
-                         spawn_rngs, timed)
+from repro.utils import (ManualClock, Timer, capture_rng_tree,
+                         get_generator_state, new_rng, restore_rng_tree,
+                         set_generator_state, spawn_rngs, timed)
 
 
 class TestRng:
@@ -44,16 +42,45 @@ class TestRng:
         assert spawn_rngs(0, 0) == []
 
 
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock() == 1.5
+
+    def test_custom_start(self):
+        assert ManualClock(start=100.0)() == 100.0
+
+    def test_sleep_advances_and_records(self):
+        clock = ManualClock()
+        clock.sleep(0.25)
+        clock.sleep(0.5)
+        assert clock() == 0.75
+        assert clock.sleeps == [0.25, 0.5]
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
 class TestTimer:
-    def test_accumulates_laps(self):
+    def test_accumulates_laps(self, freeze_clock):
+        timer = Timer(clock=freeze_clock)
+        with timer:
+            freeze_clock.advance(0.5)
+        assert timer.elapsed == 0.5
+        with timer:
+            freeze_clock.advance(0.25)
+        assert timer.elapsed == 0.75
+        assert timer.laps == 2
+
+    def test_real_clock_default(self):
         timer = Timer()
         with timer:
-            time.sleep(0.01)
-        first = timer.elapsed
-        with timer:
-            time.sleep(0.01)
-        assert timer.elapsed > first
-        assert timer.laps == 2
+            pass
+        assert timer.elapsed >= 0.0
+        assert timer.laps == 1
 
     def test_double_start_rejected(self):
         timer = Timer().start()
@@ -79,49 +106,51 @@ class TestTimer:
         timer.stop()
         assert not timer.running
 
-    def test_timed_contextmanager(self):
-        with timed() as elapsed:
-            time.sleep(0.01)
-        assert elapsed() >= 0.01
+    def test_timed_contextmanager(self, freeze_clock):
+        with timed(clock=freeze_clock) as elapsed:
+            freeze_clock.advance(0.1)
+        assert elapsed() == 0.1
+        freeze_clock.advance(0.1)  # keeps counting after the block
+        assert elapsed() == 0.2
 
-    def test_context_manager_stops_on_exception(self):
-        timer = Timer()
+    def test_context_manager_stops_on_exception(self, freeze_clock):
+        timer = Timer(clock=freeze_clock)
         with pytest.raises(RuntimeError):
             with timer:
-                time.sleep(0.005)
+                freeze_clock.advance(0.5)
                 raise RuntimeError("boom")
         assert not timer.running
         assert timer.laps == 1
-        assert timer.elapsed >= 0.005
+        assert timer.elapsed == 0.5
 
-    def test_current_includes_inflight_lap(self):
-        timer = Timer()
+    def test_current_includes_inflight_lap(self, freeze_clock):
+        timer = Timer(clock=freeze_clock)
         assert timer.current == 0.0
         with timer:
-            time.sleep(0.005)
-            assert timer.current >= 0.005
-            mid = timer.current
-        assert timer.elapsed >= mid
+            freeze_clock.advance(0.5)
+            assert timer.current == 0.5
+        assert timer.elapsed == 0.5
         assert timer.current == timer.elapsed  # stopped → no in-flight lap
 
-    def test_current_accumulates_across_laps(self):
-        timer = Timer()
+    def test_current_accumulates_across_laps(self, freeze_clock):
+        timer = Timer(clock=freeze_clock)
         with timer:
-            time.sleep(0.005)
-        first = timer.elapsed
+            freeze_clock.advance(1.0)
         timer.start()
-        time.sleep(0.005)
-        assert timer.current >= first + 0.005
+        freeze_clock.advance(0.5)
+        assert timer.current == 1.5
         timer.stop()
+        assert timer.elapsed == 1.5
 
-    def test_stop_returns_lap_not_total(self):
-        timer = Timer()
+    def test_stop_returns_lap_not_total(self, freeze_clock):
+        timer = Timer(clock=freeze_clock)
         with timer:
-            time.sleep(0.01)
+            freeze_clock.advance(1.0)
         timer.start()
-        time.sleep(0.001)
+        freeze_clock.advance(0.25)
         lap = timer.stop()
-        assert lap < timer.elapsed  # second lap alone, not the running total
+        assert lap == 0.25  # second lap alone, not the running total
+        assert timer.elapsed == 1.25
 
 
 class TestGeneratorState:

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Dependency-free line coverage for the core numerics.
+
+Runs the pytest suite under a ``sys.settrace`` hook that records executed
+lines in ``src/repro/nn`` and ``src/repro/core``, then reports per-file and
+total line coverage against the executable lines found in each file's
+compiled bytecode.  This is the local stand-in for pytest-cov (which is a
+CI-only dependency, installed via ``pip install -e .[cov]``); numbers track
+coverage.py closely but not exactly — the committed floor in
+``pyproject.toml`` is set below both so either tool can enforce it.
+
+Usage::
+
+    PYTHONPATH=src python tools/linecov.py [--fail-under PCT] [pytest args...]
+
+Extra arguments are passed straight to pytest (default: the tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+TARGET_DIRS = ("src/repro/nn", "src/repro/core")
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Lines of ``path`` that carry bytecode (module, class, and def bodies)."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        for _start, _end, line in co.co_lines():
+            if line is not None:
+                lines.add(line)
+        for const in co.co_consts:
+            if isinstance(const, type(code)):
+                stack.append(const)
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fail-under", type=float, default=None, metavar="PCT",
+                        help="exit non-zero if total coverage is below PCT")
+    args, pytest_args = parser.parse_known_args(argv)
+
+    target_files = sorted(
+        p.resolve() for d in TARGET_DIRS for p in (REPO / d).rglob("*.py"))
+    wanted = {str(p) for p in target_files}
+    executed: dict[str, set[int]] = {name: set() for name in wanted}
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            executed[frame.f_code.co_filename].add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename in wanted:
+            return local_trace
+        return None
+
+    # Install before pytest imports anything so module-level lines count.
+    import pytest
+
+    sys.settrace(global_trace)
+    threading.settrace(global_trace)
+    try:
+        rc = pytest.main(pytest_args or ["-q"])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    total_stmts = total_hit = 0
+    width = max(len(str(p.relative_to(REPO))) for p in target_files)
+    print(f"\n{'file':<{width}}  stmts  miss  cover")
+    for path in target_files:
+        stmts = executable_lines(path)
+        hit = stmts & executed[str(path)]
+        total_stmts += len(stmts)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(stmts) if stmts else 100.0
+        print(f"{str(path.relative_to(REPO)):<{width}}  {len(stmts):5d}  "
+              f"{len(stmts) - len(hit):4d}  {pct:5.1f}%")
+    total_pct = 100.0 * total_hit / total_stmts if total_stmts else 100.0
+    print(f"{'TOTAL':<{width}}  {total_stmts:5d}  "
+          f"{total_stmts - total_hit:4d}  {total_pct:5.1f}%")
+
+    if rc != 0:
+        return int(rc)
+    if args.fail_under is not None and total_pct < args.fail_under:
+        print(f"FAIL: total coverage {total_pct:.1f}% is below the "
+              f"{args.fail_under:.1f}% floor")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
