@@ -1,4 +1,4 @@
-"""CI gate on benchmark results: fail on fused/unfused speedup regressions.
+"""CI gate on benchmark results: fail on optimized-vs-reference regressions.
 
 Usage::
 
@@ -6,7 +6,11 @@ Usage::
         [--baseline benchmarks/results/BENCH_PR3.json] [--tolerance 0.20]
 
 Absolute milliseconds and users/sec vary wildly across CI hardware, so the
-gate is built on *relative* quantities that cancel the machine out:
+gate is built on *relative* quantities that cancel the machine out.  The
+report's ``meta.suite`` field selects which family of gates applies (the
+baseline, when given, must come from the same suite):
+
+``training`` (``BENCH_PR3.json``):
 
 * ``epoch_speedup`` — fused+prefetch vs unfused+sync end-to-end throughput,
   measured inside the same process on the same machine.  This is the number
@@ -16,6 +20,20 @@ gate is built on *relative* quantities that cancel the machine out:
   invariant, not a particular wall-clock figure).
 * ``sampled_softmax kernel ratio`` — unfused p50 / fused p50 for the
   forward+backward microbenchmark, same-machine by construction.
+
+``serving`` (``BENCH_PR5.json``):
+
+* ``serving_batch_speedup`` — ``ServingProxy.get_embeddings_batch`` vs the
+  per-key ``get_embedding`` loop on the 10k-user warm-cache benchmark.  The
+  batch path must hold a ≥3x advantage (scaled by the tolerance).
+* ``lsh_batch_speedup`` — ``LSHIndex.query_batch`` vs looped ``query``;
+  must hold ≥2x (scaled by the tolerance).
+
+Both serving ratios are additionally checked against the committed baseline
+with the same relative tolerance, mirroring the training gates — but only
+when both reports were measured at the same workload size (same
+``meta.quick`` flag): the quick CI smoke probes a 2k-vector index while the
+committed baseline uses 10k vectors, and those ratios are not comparable.
 
 Exit code 0 on pass, 1 on regression (messages on stderr).
 """
@@ -29,9 +47,21 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path("benchmarks/results/BENCH_PR3.json")
 
+#: Absolute speedup floors the serving fast path promises (before the
+#: tolerance scaling): the acceptance bars of the serving-suite benchmarks.
+SERVING_FLOORS = {"serving_batch_speedup": 3.0, "lsh_batch_speedup": 2.0}
+
 
 def _records(report: dict) -> dict[str, dict]:
     return {r["op"]: r for r in report.get("results", [])}
+
+
+def _suite(report: dict) -> str:
+    return report.get("meta", {}).get("suite", "training")
+
+
+def _is_quick(report: dict) -> bool:
+    return bool(report.get("meta", {}).get("quick", False))
 
 
 def _epoch_speedup(report: dict) -> float:
@@ -50,9 +80,15 @@ def _kernel_ratio(report: dict) -> float:
     return float(unfused["p50_ms"]) / float(fused["p50_ms"])
 
 
-def check(current: dict, baseline: dict | None, tolerance: float,
-          ) -> list[str]:
-    """Return a list of regression messages (empty means the gate passes)."""
+def _ratio(report: dict, op: str) -> float:
+    rec = _records(report).get(op)
+    if rec is None:
+        raise KeyError(f"report has no '{op}' record")
+    return float(rec["ratio"])
+
+
+def check_training(current: dict, baseline: dict | None,
+                   tolerance: float) -> list[str]:
     failures: list[str] = []
     floor = 1.0 - tolerance
 
@@ -82,6 +118,52 @@ def check(current: dict, baseline: dict | None, tolerance: float,
     return failures
 
 
+def check_serving(current: dict, baseline: dict | None,
+                  tolerance: float) -> list[str]:
+    failures: list[str] = []
+    scale = 1.0 - tolerance
+    # Ratios from different workload sizes (quick vs full) are not
+    # comparable — quick runs gate on the absolute floors only.
+    comparable = baseline is not None and \
+        _is_quick(current) == _is_quick(baseline)
+    for op, promised in SERVING_FLOORS.items():
+        ratio = _ratio(current, op)
+        floor = promised * scale
+        if ratio < floor:
+            failures.append(
+                f"{op} {ratio:.3f} < {floor:.3f}: the batch path no longer "
+                f"holds its promised {promised:.1f}x advantage over the "
+                "scalar loop")
+        if comparable:
+            base = _ratio(baseline, op)
+            if ratio < base * scale:
+                failures.append(
+                    f"{op} {ratio:.3f} regressed more than {tolerance:.0%} "
+                    f"vs baseline {base:.3f}")
+    return failures
+
+
+def check(current: dict, baseline: dict | None, tolerance: float,
+          ) -> list[str]:
+    """Return a list of regression messages (empty means the gate passes)."""
+    suite = _suite(current)
+    if baseline is not None and _suite(baseline) != suite:
+        raise ValueError(
+            f"suite mismatch: current is '{suite}' but baseline is "
+            f"'{_suite(baseline)}' — compare like with like")
+    if suite == "serving":
+        return check_serving(current, baseline, tolerance)
+    return check_training(current, baseline, tolerance)
+
+
+def _summary(report: dict) -> str:
+    if _suite(report) == "serving":
+        return " ".join(f"{op}={_ratio(report, op):.3f}"
+                        for op in SERVING_FLOORS)
+    return (f"epoch_speedup={_epoch_speedup(report):.3f} "
+            f"kernel_ratio={_kernel_ratio(report):.3f}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True,
@@ -104,8 +186,7 @@ def main(argv: list[str] | None = None) -> int:
     for message in failures:
         print(f"REGRESSION: {message}", file=sys.stderr)
     if not failures:
-        print(f"bench check passed: epoch_speedup={_epoch_speedup(current):.3f} "
-              f"kernel_ratio={_kernel_ratio(current):.3f}")
+        print(f"bench check passed ({_suite(current)}): {_summary(current)}")
     return 1 if failures else 0
 
 

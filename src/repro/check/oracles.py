@@ -304,3 +304,107 @@ def _oracle_bulk_lookup(rng: np.random.Generator) -> Pairs:
             "rows_no_grow": (ref_frozen, opt_frozen),
             "insertion_keys": (ref_keys, opt_keys),
             "insertion_rows": (ref_vals, opt_vals)}
+
+
+@register_oracle("serve.proxy_batch_vs_scalar",
+                 description="ServingProxy batched degradation chain vs the "
+                             "scalar get_embedding loop — same vectors, masks "
+                             "and per-source counts in legacy, resilient and "
+                             "store-outage modes (distinct keys)")
+def _oracle_proxy_batch(rng: np.random.Generator) -> Pairs:
+    from repro.lookalike import EmbeddingStore, ServingProxy
+    from repro.lookalike.serving import ServingResilience
+    from repro.resilience.faults import FlakyEmbeddingStore
+
+    dim, n = 6, 12
+    keys = [f"u{i}" for i in range(n)]
+    matrix = rng.normal(size=(n, dim))
+    fresh_vec = rng.normal(size=dim)
+
+    def build(mode: str) -> ServingProxy:
+        store = EmbeddingStore(dim=dim)
+        store.put_many(keys, matrix)
+        if mode == "outage":
+            store = FlakyEmbeddingStore(store, failure_rate=0.0, rng=0)
+
+        def infer(uid):
+            return fresh_vec.copy() if str(uid).startswith("fresh") else None
+
+        resilience = None if mode == "legacy" else ServingResilience()
+        return ServingProxy(store, cache_capacity=2 * n, infer_fn=infer,
+                            resilience=resilience)
+
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for mode in ("legacy", "resilient", "outage"):
+        scalar, batch = build(mode), build(mode)
+        ids = keys + ["fresh1", "ghost"]  # store / inferred / miss-or-default
+        for rnd in range(2):              # cold round, then warm (cache) round
+            if mode == "outage" and rnd == 1:
+                # Stale sweep: the store goes down after the warm-up round
+                # and both proxies lose their caches, so every stored key
+                # must come back from the stale snapshot.
+                for proxy in (scalar, batch):
+                    proxy.store.failure_rate = 1.0
+                    proxy.cache = type(proxy.cache)(2 * n, name="serving")
+            s_rows, s_mask = scalar.get_embeddings_masked(ids)
+            b_rows, b_mask = batch.get_embeddings_masked_batch(ids)
+            pairs[f"{mode}.round{rnd}.matrix"] = (s_rows, b_rows)
+            pairs[f"{mode}.round{rnd}.mask"] = (s_mask, b_mask)
+        sources = sorted(set(scalar.source_counts) | set(batch.source_counts))
+        pairs[f"{mode}.source_counts"] = (
+            np.asarray([scalar.source_counts[s] for s in sources]),
+            np.asarray([batch.source_counts[s] for s in sources]))
+        pairs[f"{mode}.inferences"] = (np.asarray(scalar.inferences),
+                                       np.asarray(batch.inferences))
+    return pairs
+
+
+@register_oracle("lookalike.lsh.batch_vs_scalar",
+                 description="LSHIndex.candidates_batch/query_batch vs the "
+                             "looped scalar candidates/query — identical "
+                             "candidate sets and neighbour rankings, with "
+                             "and without the exact fallback")
+def _oracle_lsh_batch(rng: np.random.Generator) -> Pairs:
+    from repro.lookalike import LSHIndex
+
+    dim = 16
+    vectors = rng.normal(size=(300, dim))
+    index = LSHIndex(dim=dim, n_tables=4, n_bits=6,
+                     seed=int(rng.integers(0, 2 ** 31))).fit(vectors)
+    # Near-duplicates of stored points (dense buckets) plus fresh noise
+    # (sparse buckets, which exercise the exact fallback when enabled).
+    queries = np.vstack([
+        vectors[:5] + rng.normal(0.0, 0.05, size=(5, dim)),
+        rng.normal(size=(3, dim)) * 3.0,
+    ])
+
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    batched = index.candidates_batch(queries)
+    for i, query in enumerate(queries):
+        pairs[f"candidates.q{i}"] = (index.candidates(query), batched[i])
+    for fallback in (False, True):
+        results = index.query_batch(queries, k=8, fallback_to_exact=fallback)
+        for i, query in enumerate(queries):
+            scalar = index.query(query, k=8, fallback_to_exact=fallback)
+            pairs[f"query.fallback_{fallback}.q{i}"] = (scalar, results[i])
+    return pairs
+
+
+@register_oracle("core.encoder.inference_vs_autograd",
+                 description="FVAE.encode_batch raw-array inference forward "
+                             "vs the eval-mode autograd Tensor forward "
+                             "(bit-exact mu and logvar)")
+def _oracle_encoder_inference(rng: np.random.Generator) -> Pairs:
+    from repro.core import FVAE, FVAEConfig
+    from repro.data import make_kd_like
+
+    seed = int(rng.integers(0, 2 ** 31))
+    data = make_kd_like(n_users=40, seed=seed)
+    config = FVAEConfig(latent_dim=8, encoder_hidden=[16], decoder_hidden=[16],
+                        seed=seed)
+    model = FVAE(data.dataset.schema, config)
+    model.fit(data.dataset, epochs=1, batch_size=16)
+    batch = data.dataset.batch(np.arange(20))
+    mu_t, logvar_t = model.encode_batch(batch, inference=False)
+    mu_a, logvar_a = model.encode_batch(batch, inference=True)
+    return {"mu": (mu_t, mu_a), "logvar": (logvar_t, logvar_a)}

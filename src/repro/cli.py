@@ -94,10 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fewer repeats / smaller preset (CI smoke)")
     p_microbench.add_argument("--out", default=None, metavar="PATH",
                               help="output JSON path (default: "
-                                   "benchmarks/results/BENCH_PR3.json)")
+                                   "benchmarks/results/BENCH_PR3.json for "
+                                   "training, BENCH_PR5.json for serving)")
     p_microbench.add_argument("--users", type=int, default=None,
                               help="override the epoch-throughput preset size")
     p_microbench.add_argument("--seed", type=int, default=0)
+    p_microbench.add_argument("--suite", choices=("training", "serving"),
+                              default="training",
+                              help="training: PR 3 hot-path stages; serving: "
+                                   "batched lookup / LSH / inference-forward "
+                                   "/ cold-start stages")
 
     p_faults = sub.add_parser(
         "faults", help="fault-injected distributed training: recovery "
@@ -250,11 +256,13 @@ def _cmd_benchmark(args, out) -> int:
 
 def _cmd_bench(args, out) -> int:
     from repro.perf import run_bench
-    from repro.perf.bench import DEFAULT_OUTPUT, render_report
+    from repro.perf.bench import DEFAULT_OUTPUT, SERVING_OUTPUT, render_report
 
-    path = args.out or DEFAULT_OUTPUT
+    suite = getattr(args, "suite", "training")
+    path = args.out or (DEFAULT_OUTPUT if suite == "training"
+                        else SERVING_OUTPUT)
     report = run_bench(quick=args.quick, out=path, users=args.users,
-                       seed=args.seed)
+                       seed=args.seed, suite=suite)
     print(render_report(report), file=out)
     print(f"results written to {path}", file=out)
     return 0

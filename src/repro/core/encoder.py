@@ -17,12 +17,21 @@ from repro.data.fields import FieldSchema
 from repro.hashing import DynamicHashTable
 from repro.nn import functional as F
 from repro.nn.layers import Dropout, Linear, Module
-from repro.nn.tensor import Parameter, Tensor
+from repro.nn.tensor import Parameter, Tensor, stable_sigmoid
 from repro.utils.rng import new_rng
 
 __all__ = ["HashedEmbeddingBag", "FieldAwareEncoder"]
 
 _ACT = {"tanh": F.tanh, "relu": F.relu, "sigmoid": F.sigmoid}
+
+#: Raw-array activations for the inference fast path.  Each entry computes
+#: exactly what the matching Tensor op computes on ``.data`` so the two
+#: forwards stay bit-identical — but applied *in place* where the ufunc
+#: allows it, so callers must own the buffer they pass in (the inference
+#: forward only ever passes freshly computed intermediates).
+_ACT_DATA = {"tanh": lambda x: np.tanh(x, out=x),
+             "relu": lambda x: np.multiply(x, x > 0, out=x),
+             "sigmoid": stable_sigmoid}
 
 
 class HashedEmbeddingBag(Module):
@@ -92,6 +101,34 @@ class HashedEmbeddingBag(Module):
         weights = None if per_index_weights is None else per_index_weights[known]
         return F.embedding_bag(self.weight, rows, offsets, weights,
                                segment=user_of)
+
+    def forward_arrays(self, batch_field: FieldBatch,
+                       per_index_weights: np.ndarray | None = None,
+                       ) -> np.ndarray:
+        """Inference-mode forward: plain arrays, no Tensor or closure.
+
+        Eval semantics — the table never grows and unknown ids are dropped.
+        Shares :func:`repro.nn.functional.embedding_bag_data` with the
+        autograd forward, so the two are bit-identical by construction.
+        """
+        rows = self.lookup(batch_field.indices, grow=False)
+        known = rows >= 0
+        if known.all():
+            out, __ = F.embedding_bag_data(self.weight.data, rows,
+                                           batch_field.offsets,
+                                           per_index_weights,
+                                           segment=batch_field.segment_ids())
+            return out
+        user_of = batch_field.segment_ids()
+        rows = rows[known]
+        user_of = user_of[known]
+        new_counts = np.bincount(user_of, minlength=batch_field.n_users)
+        offsets = np.zeros(batch_field.n_users + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=offsets[1:])
+        weights = None if per_index_weights is None else per_index_weights[known]
+        out, __ = F.embedding_bag_data(self.weight.data, rows, offsets,
+                                       weights, segment=user_of)
+        return out
 
     def feature_rows(self) -> tuple[np.ndarray, np.ndarray]:
         """Return parallel arrays ``(feature_ids, rows)`` of the known vocabulary."""
@@ -237,3 +274,35 @@ class FieldAwareEncoder(Module):
         for layer in self._dense:
             h = act(layer(h))
         return self.mu_head(h), self.logvar_head(h)
+
+    def forward_arrays(self, batch: UserBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Inference forward: eval-mode :meth:`forward` on plain arrays.
+
+        Skips autograd Tensor wrapping and backward-closure capture entirely;
+        training-only branches (feature corruption, hidden dropout) are
+        identity in eval mode and therefore absent.  Bit-identical to the
+        eval Tensor forward — guarded by the
+        ``core.encoder.inference_vs_autograd`` differential oracle.
+        """
+        act = _ACT_DATA[self.activation]
+        first: np.ndarray | None = None
+        for name, bag in self._bags.items():
+            if name not in batch.fields:
+                continue
+            fb = batch.fields[name]
+            if fb.indices.size == 0:
+                continue
+            weights = _prepare_weights(fb, self.input_weighting)
+            contribution = bag.forward_arrays(fb, weights)
+            if first is None:
+                first = contribution  # fresh buffer: safe to accumulate into
+            else:
+                first += contribution
+        if first is None:
+            first = np.zeros((batch.n_users, self.hidden_dims[0]))
+        first += self.first_bias.data
+        h = act(first)
+        for layer in self._dense:
+            h = act(layer.forward_arrays(h))
+        return (self.mu_head.forward_arrays(h),
+                self.logvar_head.forward_arrays(h))

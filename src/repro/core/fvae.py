@@ -28,7 +28,7 @@ from repro.data.dataset import MultiFieldDataset, UserBatch
 from repro.data.fields import FieldSchema
 from repro.nn import gaussian_kl
 from repro.nn.layers import Module
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, is_inference, no_grad
 from repro.sampling import get_sampler, select_candidates
 from repro.utils.rng import new_rng
 
@@ -200,16 +200,41 @@ class FVAE(Module, UserRepresentationModel):
                                    verbose=verbose, **trainer_kwargs)
         return self
 
+    def encode_batch(self, batch: UserBatch,
+                     inference: bool | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior ``(mu, logvar)`` arrays for one batch (eval semantics).
+
+        ``inference=True`` takes the raw-array fast path
+        (:meth:`FieldAwareEncoder.forward_arrays`) — no autograd Tensors, no
+        backward closures — which is bit-identical to the eval Tensor forward
+        (guarded by the ``core.encoder.inference_vs_autograd`` oracle).
+        ``inference=False`` forces the Tensor reference path; the default
+        ``None`` defers to :func:`repro.nn.is_inference`.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            if inference is None:
+                inference = is_inference()
+            if inference:
+                return self.encoder.forward_arrays(batch)
+            with no_grad():
+                mu, logvar = self.encoder(batch)
+            return mu.data, logvar.data
+        finally:
+            if was_training:
+                self.train()
+
     def embed_users(self, dataset: MultiFieldDataset,
                     batch_size: int = 2048) -> np.ndarray:
         """Posterior means ``μ(u_i)`` for every user — the user representation."""
         self.eval()
         out = np.empty((dataset.n_users, self.config.latent_dim))
-        with no_grad():
-            for start in range(0, dataset.n_users, batch_size):
-                idx = np.arange(start, min(start + batch_size, dataset.n_users))
-                mu, __ = self.encoder(dataset.batch(idx))
-                out[idx] = mu.data
+        for start in range(0, dataset.n_users, batch_size):
+            idx = np.arange(start, min(start + batch_size, dataset.n_users))
+            mu, __ = self.encode_batch(dataset.batch(idx), inference=True)
+            out[idx] = mu
         return out
 
     def embed_users_with_uncertainty(self, dataset: MultiFieldDataset,
@@ -219,12 +244,11 @@ class FVAE(Module, UserRepresentationModel):
         self.eval()
         mu_out = np.empty((dataset.n_users, self.config.latent_dim))
         sigma_out = np.empty_like(mu_out)
-        with no_grad():
-            for start in range(0, dataset.n_users, batch_size):
-                idx = np.arange(start, min(start + batch_size, dataset.n_users))
-                mu, logvar = self.encoder(dataset.batch(idx))
-                mu_out[idx] = mu.data
-                sigma_out[idx] = np.exp(0.5 * logvar.data)
+        for start in range(0, dataset.n_users, batch_size):
+            idx = np.arange(start, min(start + batch_size, dataset.n_users))
+            mu, logvar = self.encode_batch(dataset.batch(idx), inference=True)
+            mu_out[idx] = mu
+            sigma_out[idx] = np.exp(0.5 * logvar)
         return mu_out, sigma_out
 
     def score_field(self, dataset: MultiFieldDataset, field: str,

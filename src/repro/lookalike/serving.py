@@ -116,6 +116,40 @@ class ServingProxy:
 
         return res.retry.call(attempt, name="store.get")
 
+    def _store_get_batch(self,
+                         keys: list[Hashable]) -> tuple[np.ndarray, np.ndarray]:
+        """One guarded batch store read: ``(matrix, found_mask)``.
+
+        The whole batch is one read from the retry/breaker's point of view —
+        a failure anywhere fails the batch (and counts once against the
+        breaker), success resolves every present key in one gather.
+        """
+        store = self.store
+
+        def read() -> tuple[np.ndarray, np.ndarray]:
+            if hasattr(store, "get_batch"):
+                return store.get_batch(keys)
+            # stores without a batch read: per-key fallback loop
+            out = np.zeros((len(keys), store.dim), dtype=np.float64)
+            found = np.zeros(len(keys), dtype=bool)
+            for pos, key in enumerate(keys):
+                vec = store.get(key)
+                if vec is not None:
+                    out[pos] = vec
+                    found[pos] = True
+            return out, found
+
+        res = self.resilience
+        if res is None:
+            return read()
+
+        def attempt() -> tuple[np.ndarray, np.ndarray]:
+            if res.breaker is not None:
+                return res.breaker.call(read)
+            return read()
+
+        return res.retry.call(attempt, name="store.get_batch")
+
     def lookup(self, user_id: Hashable) -> tuple[np.ndarray | None, str]:
         """Return ``(embedding, source)``; the full degradation chain.
 
@@ -167,6 +201,137 @@ class ServingProxy:
         self.cache.put(user_id, vec)
         return vec, source
 
+    # -- batched lookup chain --------------------------------------------------
+
+    def lookup_batch(self, user_ids) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`lookup`: ``(matrix, sources)`` aligned with input.
+
+        The whole degradation chain runs on key *groups* instead of single
+        keys: one cache probe, one guarded store gather, one stale sweep for
+        the outage case, then inference and defaults for the remainder.
+        Metrics are aggregated — one ``serving.lookups`` update per source
+        seen, one cache counter update per probe.
+
+        Duplicate keys that miss the cache are resolved once and every
+        occurrence shares the result (one coherent read); because the whole
+        batch resolves together, each occurrence reports the same source,
+        where the scalar loop would label the second occurrence a fresh
+        ``cache`` hit.
+        """
+        user_ids = list(user_ids)
+        with obs.latency("serving.batch_lookup_seconds"):
+            out, sources, counts = self._lookup_batch(user_ids)
+            for source, amount in counts.items():
+                obs.count("serving.lookups", amount, source=source)
+            self.source_counts.update(counts)
+        return out, sources
+
+    def _lookup_batch(self,
+                      user_ids) -> tuple[np.ndarray, np.ndarray, Counter]:
+        """The chain itself; returns ``(matrix, sources, source_counts)``."""
+        dim = self.store.dim
+        out = np.zeros((len(user_ids), dim), dtype=np.float64)
+        sources = np.empty(len(user_ids), dtype=object)
+        counts: Counter[str] = Counter()
+
+        # 1. cache: one probe over the raw positions, one fancy-indexed
+        # scatter of the hits — the steady-state fast path ends here
+        hit_matrix, hit = self.cache.get_many(user_ids)
+        hit_rows = np.flatnonzero(hit)
+        if hit_rows.size:
+            out[hit_rows] = hit_matrix
+            sources[hit_rows] = "cache"
+            counts["cache"] = int(hit_rows.size)
+        miss_rows = np.flatnonzero(~hit)
+        if not miss_rows.size:
+            return out, sources, counts
+
+        # Dedupe the *misses* only (warm traffic has few): each unique key
+        # resolves once and every occurrence shares the row.
+        uniq: list[Hashable] = []
+        first: dict[Hashable, int] = {}
+        back = np.empty(miss_rows.size, dtype=np.int64)
+        for i, pos in enumerate(miss_rows):
+            uid = user_ids[pos]
+            row = first.get(uid)
+            if row is None:
+                row = first[uid] = len(uniq)
+                uniq.append(uid)
+            back[i] = row
+
+        res = np.zeros((len(uniq), dim), dtype=np.float64)
+        rsrc = np.empty(len(uniq), dtype=object)
+        pending = np.arange(len(uniq))
+
+        # 2. store: one guarded gather for the whole pending group; an
+        # outage fails the group as a unit and the stale sweep takes over
+        try:
+            got, found = self._store_get_batch(uniq)
+        except (CircuitOpenError, DeadlineExceeded) + _STORE_ERRORS:
+            self.store_errors += 1
+            obs.count("serving.store_errors")
+            still = []
+            for row in pending:
+                stale = self._stale.get(uniq[row])
+                if stale is not None:
+                    res[row] = stale
+                    rsrc[row] = "stale"
+                else:
+                    still.append(row)
+            pending = np.asarray(still, dtype=np.int64)
+        else:
+            found_rows = pending[found]
+            if found_rows.size:
+                res[found_rows] = got[found]
+                rsrc[found_rows] = "store"
+                if self.resilience is not None:
+                    for row in found_rows:
+                        self._stale[uniq[row]] = res[row]
+            pending = pending[~found]
+
+        # 3. inference for the remainder, with one batched write-back
+        if pending.size and self._infer_fn is not None:
+            still, wb_keys, wb_rows = [], [], []
+            for row in pending:
+                vec = self._infer_fn(uniq[row])
+                if vec is None:
+                    still.append(row)
+                    continue
+                self.inferences += 1
+                res[row] = vec
+                rsrc[row] = "inferred"
+                wb_keys.append(uniq[row])
+                wb_rows.append(res[row])
+                if self.resilience is not None:
+                    self._stale[uniq[row]] = res[row]
+            if wb_keys:
+                try:
+                    self.store.put_many(wb_keys, np.stack(wb_rows))
+                except _STORE_ERRORS:
+                    pass  # store write-back is best-effort
+            pending = np.asarray(still, dtype=np.int64)
+
+        # 4. defaults (resilient) or misses (legacy); neither is cached
+        if pending.size:
+            if self.resilience is None:
+                rsrc[pending] = "miss"
+            else:
+                res[pending] = self.resilience.default_for(dim)
+                rsrc[pending] = "default"
+
+        cacheable = ((rsrc == "store") | (rsrc == "stale")
+                     | (rsrc == "inferred"))
+        cache_rows = np.flatnonzero(cacheable)
+        if cache_rows.size:
+            self.cache.put_many([uniq[row] for row in cache_rows],
+                                res[cache_rows])
+
+        miss_sources = rsrc[back]
+        out[miss_rows] = res[back]
+        sources[miss_rows] = miss_sources
+        counts.update(miss_sources.tolist())
+        return out, sources, counts
+
     # -- public API ------------------------------------------------------------
 
     def get_embedding(self, user_id: Hashable) -> np.ndarray | None:
@@ -215,6 +380,36 @@ class ServingProxy:
             mask.append(resolved)
         matrix = np.stack(rows) if rows else np.empty((0, dim))
         return matrix, np.asarray(mask, dtype=bool)
+
+    def get_embeddings_batch(self, user_ids,
+                             default: np.ndarray | None = None) -> np.ndarray:
+        """Vectorised :meth:`get_embeddings`; same contract, one chain pass.
+
+        Missing users raise :class:`KeyError` unless ``default`` substitutes
+        a row; in resilient mode every lookup resolves and neither applies.
+        """
+        user_ids = list(user_ids)
+        matrix, sources = self.lookup_batch(user_ids)
+        miss = np.asarray(sources == "miss", dtype=bool)
+        if miss.any():
+            if default is None:
+                uid = user_ids[int(np.argmax(miss))]
+                raise KeyError(f"no embedding available for user {uid!r}")
+            matrix[miss] = np.asarray(default, dtype=np.float64)
+        return matrix
+
+    def get_embeddings_masked_batch(
+            self, user_ids) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`get_embeddings_masked`: ``(matrix, mask)``.
+
+        Mask semantics match the scalar path: ``False`` for rows the chain
+        could not genuinely resolve (legacy misses — zero-filled — and
+        resilient default rows).
+        """
+        matrix, sources = self.lookup_batch(user_ids)
+        mask = np.asarray((sources != "miss") & (sources != "default"),
+                          dtype=bool)
+        return matrix, mask
 
     @property
     def cache_hit_rate(self) -> float:

@@ -4,17 +4,26 @@ The paper's offline module persists inferred user embeddings to bulk storage
 (HDFS) and the online module serves them through a high-performance cache
 (Redis).  :class:`EmbeddingStore` is the bulk store (with npz persistence);
 :class:`LRUCache` is the bounded cache with hit/miss accounting.
+
+Layout: the store is *columnar* — one contiguous ``(capacity, dim)`` float64
+matrix plus a key→row dict.  Batch reads (:meth:`EmbeddingStore.get_many`,
+:meth:`EmbeddingStore.get_batch`) are single fancy-indexing ops over that
+matrix rather than per-key Python loops, and :meth:`EmbeddingStore.load` can
+adopt a read-only ``np.memmap`` of an uncompressed snapshot
+(:meth:`EmbeddingStore.save_snapshot`) so cold starts page the matrix in
+lazily instead of deserialising it.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from pathlib import Path
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.obs import runtime as obs
+from repro.utils.fileio import mmap_npz_member
 
 __all__ = ["EmbeddingStore", "LRUCache"]
 
@@ -22,60 +31,122 @@ __all__ = ["EmbeddingStore", "LRUCache"]
 class EmbeddingStore:
     """Bulk key → vector store (the HDFS stand-in).
 
-    All vectors must share one dimension; bulk writes are vectorised.
+    All vectors must share one dimension; reads and writes are vectorised
+    over one contiguous row-major matrix.  Rows are append-only: a key keeps
+    its row for the lifetime of the store, so row indices from
+    :meth:`rows_for` stay valid across later writes.
     """
 
     def __init__(self, dim: int) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be positive: {dim}")
         self.dim = dim
-        self._data: dict[Hashable, np.ndarray] = {}
+        self._index: dict[Hashable, int] = {}
+        self._matrix = np.empty((0, dim), dtype=np.float64)
+        #: True while the matrix is an adopted read-only mmap; the first
+        #: write materialises a private in-memory copy (copy-on-write).
+        self._readonly = False
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._index)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        return key in self._index
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._data)
+        return iter(self._index)
+
+    # -- writes ----------------------------------------------------------------
+
+    def _writable_rows(self, extra: int) -> None:
+        """Make the matrix privately owned with room for ``extra`` new rows."""
+        needed = len(self._index) + extra
+        if self._readonly:
+            grown = np.empty((max(needed, len(self._index)), self.dim))
+            grown[:len(self._index)] = self._matrix[:len(self._index)]
+            self._matrix = grown
+            self._readonly = False
+        if needed > self._matrix.shape[0]:
+            capacity = max(needed, 2 * self._matrix.shape[0], 8)
+            grown = np.empty((capacity, self.dim), dtype=np.float64)
+            grown[:len(self._index)] = self._matrix[:len(self._index)]
+            self._matrix = grown
 
     def put(self, key: Hashable, vector: np.ndarray) -> None:
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dim,):
             raise ValueError(f"vector shape {vector.shape} != ({self.dim},)")
-        self._data[key] = vector
+        self.put_many([key], vector[None, :])
 
     def put_many(self, keys: Iterable[Hashable], matrix: np.ndarray) -> None:
         matrix = np.asarray(matrix, dtype=np.float64)
         keys = list(keys)
         if matrix.shape != (len(keys), self.dim):
-            raise ValueError(f"matrix shape {matrix.shape} != ({len(keys)}, {self.dim})")
-        for key, row in zip(keys, matrix):
-            self._data[key] = row
+            raise ValueError(
+                f"matrix shape {matrix.shape} != ({len(keys)}, {self.dim})")
+        new = sum(1 for key in keys if key not in self._index)
+        self._writable_rows(new)
+        index = self._index
+        next_row = len(index)
+        rows = np.empty(len(keys), dtype=np.int64)
+        for pos, key in enumerate(keys):
+            row = index.get(key)
+            if row is None:
+                row = index[key] = next_row
+                next_row += 1
+            rows[pos] = row
+        # One fancy-indexed write; duplicate keys resolve last-wins, same as
+        # the per-key loop this replaces.
+        self._matrix[rows] = matrix
+
+    # -- reads -----------------------------------------------------------------
 
     def get(self, key: Hashable) -> np.ndarray | None:
-        return self._data.get(key)
+        row = self._index.get(key)
+        return None if row is None else self._matrix[row]
+
+    def rows_for(self, keys: Sequence[Hashable]) -> np.ndarray:
+        """Row index per key (``-1`` for keys not in the store)."""
+        index = self._index
+        rows = np.empty(len(keys), dtype=np.int64)
+        for pos, key in enumerate(keys):
+            rows[pos] = index.get(key, -1)
+        return rows
 
     def get_many(self, keys: Iterable[Hashable]) -> np.ndarray:
         """Stack vectors for ``keys``; raises on any missing key."""
-        rows = []
-        for key in keys:
-            vec = self._data.get(key)
-            if vec is None:
-                raise KeyError(f"no embedding stored for key {key!r}")
-            rows.append(vec)
-        return np.stack(rows) if rows else np.empty((0, self.dim))
+        keys = list(keys)
+        rows = self.rows_for(keys)
+        missing = np.flatnonzero(rows < 0)
+        if missing.size:
+            key = keys[int(missing[0])]
+            raise KeyError(f"no embedding stored for key {key!r}")
+        return self._matrix[rows]
+
+    def get_batch(self,
+                  keys: Sequence[Hashable]) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(matrix, found_mask)`` — zero rows for absent keys.
+
+        Unlike :meth:`get_many` this never raises on missing keys; the mask
+        tells the caller which rows were resolved.  One fancy-indexed gather
+        for the whole batch.
+        """
+        rows = self.rows_for(keys)
+        found = rows >= 0
+        out = np.zeros((len(keys), self.dim), dtype=np.float64)
+        out[found] = self._matrix[rows[found]]
+        return out, found
 
     def keys(self) -> list[Hashable]:
-        return list(self._data)
+        return list(self._index)
 
     def as_matrix(self) -> tuple[list[Hashable], np.ndarray]:
-        """Return ``(keys, matrix)`` with aligned ordering."""
-        keys = list(self._data)
-        matrix = np.stack([self._data[k] for k in keys]) if keys \
-            else np.empty((0, self.dim))
-        return keys, matrix
+        """Return ``(keys, matrix)`` with aligned ordering.
+
+        The matrix is a zero-copy view of the live store; callers must not
+        write through it.
+        """
+        return list(self._index), self._matrix[:len(self._index)]
 
     # -- persistence -----------------------------------------------------------
 
@@ -84,12 +155,42 @@ class EmbeddingStore:
         np.savez_compressed(path, keys=np.asarray(keys, dtype=object),
                             matrix=matrix, dim=self.dim)
 
+    def save_snapshot(self, path: str | Path) -> None:
+        """Write an *uncompressed* snapshot that :meth:`load` can memory-map.
+
+        Same schema as :meth:`save`; the matrix member is stored raw so its
+        byte range in the archive is exactly the in-memory layout.
+        """
+        keys, matrix = self.as_matrix()
+        np.savez(path, keys=np.asarray(keys, dtype=object),
+                 matrix=np.ascontiguousarray(matrix, dtype=np.float64),
+                 dim=self.dim)
+
     @classmethod
-    def load(cls, path: str | Path) -> "EmbeddingStore":
+    def load(cls, path: str | Path, mmap: bool = False) -> "EmbeddingStore":
+        """Load a saved store; ``mmap=True`` adopts the matrix zero-copy.
+
+        Mapping only works for :meth:`save_snapshot` archives (uncompressed);
+        otherwise — or when mapping fails — the matrix is loaded eagerly.  A
+        mapped store is served read-only until the first write, which
+        materialises a private copy.
+        """
+        mapped = mmap_npz_member(path, "matrix") if mmap else None
         with np.load(path, allow_pickle=True) as payload:
             store = cls(int(payload["dim"]))
-            store.put_many(list(payload["keys"]), payload["matrix"])
+            keys = list(payload["keys"])
+            if mapped is not None and mapped.shape == (len(keys), store.dim):
+                store._index = {key: row for row, key in enumerate(keys)}
+                store._matrix = mapped
+                store._readonly = True
+            else:
+                store.put_many(keys, payload["matrix"])
         return store
+
+    @property
+    def is_mapped(self) -> bool:
+        """True while the matrix is still the adopted read-only mmap."""
+        return self._readonly
 
 
 class LRUCache:
@@ -99,6 +200,17 @@ class LRUCache:
     telemetry session is installed every lookup also updates the
     ``cache.hits`` / ``cache.misses`` counters (labelled with ``name``), which
     therefore reconcile exactly with :attr:`hit_rate` over the session.
+
+    Like the store, the cache is *columnar*: vectors live in one contiguous
+    ``(capacity, dim)`` matrix (allocated lazily from the first vector's
+    length) and the LRU order is a key→slot ``OrderedDict``.  A batch probe
+    (:meth:`get_many`) is therefore one fancy-indexed gather over the slot
+    matrix, and an eviction recycles the victim's slot instead of freeing the
+    array.  All cached vectors must share one dimension.
+
+    The scalar :meth:`get`/:meth:`put` delegate to the batch primitives
+    :meth:`get_many`/:meth:`put_many`, which emit **one** aggregated metrics
+    update per call instead of one per key.
     """
 
     def __init__(self, capacity: int, name: str = "lru") -> None:
@@ -106,33 +218,93 @@ class LRUCache:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
         self.name = name
-        self._entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self._slots: OrderedDict[Hashable, int] = OrderedDict()
+        self._matrix: np.ndarray | None = None
+        self._next_slot = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._slots)
 
     def get(self, key: Hashable) -> np.ndarray | None:
-        vec = self._entries.get(key)
-        if vec is None:
-            self.misses += 1
-            obs.count("cache.misses", cache=self.name)
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        obs.count("cache.hits", cache=self.name)
-        return vec
+        vectors, mask = self.get_many([key])
+        return vectors[0] if mask[0] else None
+
+    def get_many(self,
+                 keys: Sequence[Hashable]) -> tuple[np.ndarray, np.ndarray]:
+        """Batch lookup: ``(hit_matrix, hit_mask)`` with one metrics update.
+
+        ``hit_matrix`` stacks the cached vectors of the hits only, in input
+        order — row ``j`` belongs to the ``j``-th True entry of ``hit_mask``
+        (``hit_matrix[...] == out[hit_mask]`` after a scatter).  Assembling
+        the hits is one fancy-indexed gather over the slot matrix, not a
+        per-key stack.  Counter updates (both the local tallies and the
+        telemetry counters) are aggregated: one ``cache.hits`` increment of
+        size *n_hits* and one ``cache.misses`` increment of size *n_misses*
+        per call.
+        """
+        slots = self._slots
+        slot_get = slots.get
+        refresh = slots.move_to_end
+        mask = np.zeros(len(keys), dtype=bool)
+        hit_slots: list[int] = []
+        append = hit_slots.append
+        for pos, key in enumerate(keys):
+            slot = slot_get(key)
+            if slot is not None:
+                refresh(key)
+                mask[pos] = True
+                append(slot)
+        n_hits = len(hit_slots)
+        n_misses = len(keys) - n_hits
+        self.hits += n_hits
+        self.misses += n_misses
+        if n_hits:
+            obs.count("cache.hits", n_hits, cache=self.name)
+        if n_misses:
+            obs.count("cache.misses", n_misses, cache=self.name)
+        if n_hits:
+            hits = self._matrix[np.asarray(hit_slots, dtype=np.int64)]
+        else:
+            dim = 0 if self._matrix is None else self._matrix.shape[1]
+            hits = np.empty((0, dim), dtype=np.float64)
+        return hits, mask
 
     def put(self, key: Hashable, vector: np.ndarray) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = vector
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            obs.count("cache.evictions", cache=self.name)
+        self.put_many([key], [vector])
+
+    def put_many(self, keys: Sequence[Hashable],
+                 vectors: Sequence[np.ndarray] | np.ndarray) -> None:
+        """Batch insert with one aggregated eviction metrics update.
+
+        ``vectors`` is a ``(len(keys), dim)`` matrix or a sequence of 1-D
+        vectors; the first vector ever inserted fixes the cache's ``dim``.
+        """
+        slots = self._slots
+        matrix = self._matrix
+        evicted = 0
+        for key, vector in zip(keys, vectors):
+            if matrix is None:
+                dim = int(np.asarray(vector).shape[-1])
+                matrix = self._matrix = np.empty((self.capacity, dim),
+                                                 dtype=np.float64)
+            slot = slots.get(key)
+            if slot is None:
+                if self._next_slot < self.capacity:
+                    slot = self._next_slot
+                    self._next_slot += 1
+                else:  # full: evict the LRU entry and recycle its slot
+                    __, slot = slots.popitem(last=False)
+                    evicted += 1
+                slots[key] = slot
+            else:
+                slots.move_to_end(key)
+            matrix[slot] = vector
+        if evicted:
+            self.evictions += evicted
+            obs.count("cache.evictions", evicted, cache=self.name)
 
     @property
     def hit_rate(self) -> float:

@@ -49,9 +49,24 @@ class LookalikeSystem:
         return self.user_embeddings[follower_ids].mean(axis=0)
 
     def build_accounts(self, follower_lists: list[np.ndarray]) -> np.ndarray:
-        """Stack account embeddings for a list of follower-id arrays."""
-        self._account_embeddings = np.stack(
-            [self.account_embedding(f) for f in follower_lists])
+        """Stack account embeddings for a list of follower-id arrays.
+
+        Vectorised as one gather over the concatenated follower ids plus
+        segment sums (``np.add.reduceat``) — one pass whatever the number of
+        accounts.  Segment sums accumulate left-to-right like the per-account
+        ``mean``, so results match the per-account loop to float64
+        round-off (allclose, not necessarily bit-identical, for accounts
+        large enough that ``mean`` switches to pairwise summation).
+        """
+        lengths = np.array([np.asarray(f).size for f in follower_lists],
+                           dtype=np.int64)
+        if not lengths.size or (lengths == 0).any():
+            raise ValueError("an account needs at least one follower to embed")
+        flat = np.concatenate(
+            [np.asarray(f, dtype=np.int64).ravel() for f in follower_lists])
+        offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        sums = np.add.reduceat(self.user_embeddings[flat], offsets, axis=0)
+        self._account_embeddings = sums / lengths[:, None]
         return self._account_embeddings
 
     # -- recall --------------------------------------------------------------------

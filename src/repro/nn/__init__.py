@@ -13,11 +13,13 @@ from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.schedules import (ConstantLR, CosineDecay, StepDecay,
                                 WarmupWrapper, clip_grad_norm)
 from repro.nn.tensor import (Parameter, Tensor, as_tensor, coalesce_rows,
-                             is_grad_enabled, no_grad, stable_sigmoid)
+                             inference_mode, is_grad_enabled, is_inference,
+                             no_grad, stable_sigmoid)
 
 __all__ = [
     "functional",
     "Tensor", "Parameter", "as_tensor", "no_grad", "is_grad_enabled",
+    "inference_mode", "is_inference",
     "coalesce_rows", "stable_sigmoid",
     "Module", "Linear", "MLP", "Dropout", "Sequential", "Embedding", "LayerNorm",
     "Optimizer", "SGD", "Adam",

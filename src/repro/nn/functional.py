@@ -28,6 +28,9 @@ from repro.nn.tensor import (Parameter, Tensor, as_tensor, coalesce_rows,
 
 __all__ = [
     "relu", "tanh", "sigmoid", "exp", "log", "softplus",
+    # embedding_bag_data (raw-array forward shared with embedding_bag) is
+    # deliberately not in __all__: the gradcheck coverage sweep requires a
+    # case for every export, and the helper has no gradient of its own.
     "rows", "take", "embedding_bag", "sampled_softmax_nll",
     "softmax", "log_softmax", "dropout", "concat", "stack_rows",
 ]
@@ -122,6 +125,52 @@ def take(weight: Tensor, index: np.ndarray) -> Tensor:
     return Tensor._make(out_data, (weight,), backward)
 
 
+def embedding_bag_data(weight_data: np.ndarray, indices: np.ndarray,
+                       offsets: np.ndarray,
+                       per_index_weights: np.ndarray | None = None,
+                       segment: np.ndarray | None = None,
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Raw-array forward of :func:`embedding_bag`: ``(out, segment)``.
+
+    This is the single implementation of the segment-sum forward — the
+    autograd :func:`embedding_bag` wraps it, and inference-mode callers
+    (``FieldAwareEncoder.forward_arrays``) call it directly with a plain
+    weight matrix.  One implementation means the two paths are bit-identical
+    by construction, not by testing alone.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or offsets.size < 1:
+        raise ValueError("offsets must be a 1-D array of length B+1")
+    n_bags = offsets.size - 1
+    if offsets[0] != 0 or offsets[-1] != indices.size:
+        raise ValueError("offsets must start at 0 and end at len(indices)")
+
+    lengths = np.diff(offsets)
+    if segment is None:
+        # segment ids: bag index for each flat index
+        segment = np.repeat(np.arange(n_bags), lengths)
+    else:
+        segment = np.asarray(segment, dtype=np.int64)
+        if segment.size != indices.size:
+            raise ValueError("segment must have one bag id per index")
+
+    gathered = weight_data[indices]
+    if per_index_weights is not None:
+        per_index_weights = np.asarray(per_index_weights,
+                                       dtype=weight_data.dtype)
+        gathered *= per_index_weights[:, None]  # fresh gather: in-place safe
+    out_data = np.zeros((n_bags, weight_data.shape[1]), dtype=weight_data.dtype)
+    if indices.size:
+        # Contiguous segment sum: reduceat over the starts of non-empty bags.
+        # Because every element between two non-empty starts belongs to the
+        # first one, each reduceat slice is exactly one bag; empty bags keep
+        # their zero row (reduceat would otherwise echo a single element).
+        nonempty = np.flatnonzero(lengths > 0)
+        out_data[nonempty] = np.add.reduceat(gathered, offsets[nonempty], axis=0)
+    return out_data, segment
+
+
 def embedding_bag(weight: Tensor, indices: np.ndarray, offsets: np.ndarray,
                   per_index_weights: np.ndarray | None = None,
                   segment: np.ndarray | None = None) -> Tensor:
@@ -151,34 +200,10 @@ def embedding_bag(weight: Tensor, indices: np.ndarray, offsets: np.ndarray,
     gathered embedding rows of bag ``i``.
     """
     indices = np.asarray(indices, dtype=np.int64)
-    offsets = np.asarray(offsets, dtype=np.int64)
-    if offsets.ndim != 1 or offsets.size < 1:
-        raise ValueError("offsets must be a 1-D array of length B+1")
-    n_bags = offsets.size - 1
-    if offsets[0] != 0 or offsets[-1] != indices.size:
-        raise ValueError("offsets must start at 0 and end at len(indices)")
-
-    lengths = np.diff(offsets)
-    if segment is None:
-        # segment ids: bag index for each flat index
-        segment = np.repeat(np.arange(n_bags), lengths)
-    else:
-        segment = np.asarray(segment, dtype=np.int64)
-        if segment.size != indices.size:
-            raise ValueError("segment must have one bag id per index")
-
-    gathered = weight.data[indices]
+    out_data, segment = embedding_bag_data(weight.data, indices, offsets,
+                                           per_index_weights, segment)
     if per_index_weights is not None:
         per_index_weights = np.asarray(per_index_weights, dtype=weight.data.dtype)
-        gathered *= per_index_weights[:, None]  # fresh gather: in-place safe
-    out_data = np.zeros((n_bags, weight.data.shape[1]), dtype=weight.data.dtype)
-    if indices.size:
-        # Contiguous segment sum: reduceat over the starts of non-empty bags.
-        # Because every element between two non-empty starts belongs to the
-        # first one, each reduceat slice is exactly one bag; empty bags keep
-        # their zero row (reduceat would otherwise echo a single element).
-        nonempty = np.flatnonzero(lengths > 0)
-        out_data[nonempty] = np.add.reduceat(gathered, offsets[nonempty], axis=0)
 
     def backward(grad: np.ndarray) -> None:
         grad_rows = grad[segment]

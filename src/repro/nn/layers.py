@@ -134,6 +134,13 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def forward_arrays(self, x: np.ndarray) -> np.ndarray:
+        """Raw-array affine map for inference mode; same op order as forward."""
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out += self.bias.data  # in-place into the fresh matmul output
+        return out
+
     def __repr__(self) -> str:
         return f"Linear({self.in_features} -> {self.out_features})"
 

@@ -12,6 +12,9 @@
   runner producing ``benchmarks/results/BENCH_*.json`` trajectories
   (embedding_bag fwd/bwd, sampled-softmax fwd/bwd, optimizer step, and
   end-to-end epoch throughput fused+prefetch vs the unfused reference).
+* :mod:`repro.perf.bench_serving` — the ``--suite serving`` stages: batched
+  store/proxy/LSH lookups vs their scalar loops, inference-mode encoder
+  forward, and mmap vs eager snapshot cold starts.
 """
 
 from repro.perf.bench import run_bench

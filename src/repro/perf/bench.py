@@ -26,9 +26,10 @@ from repro.nn import Adam, Parameter, Tensor, functional as F
 from repro.obs import runtime as obs
 from repro.utils.rng import new_rng
 
-__all__ = ["run_bench", "DEFAULT_OUTPUT"]
+__all__ = ["run_bench", "DEFAULT_OUTPUT", "SERVING_OUTPUT"]
 
 DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_PR3.json")
+SERVING_OUTPUT = Path("benchmarks/results/BENCH_PR5.json")
 
 
 def _time_op(fn: Callable[[], object], repeats: int,
@@ -159,22 +160,37 @@ def bench_epoch_throughput(n_users: int, seed: int, epochs: int,
     return results
 
 
-def run_bench(quick: bool = False, out: str | Path = DEFAULT_OUTPUT,
-              users: int | None = None, seed: int = 0) -> dict:
-    """Run every benchmark stage and write the JSON trajectory to ``out``."""
+def run_bench(quick: bool = False, out: str | Path | None = None,
+              users: int | None = None, seed: int = 0,
+              suite: str = "training") -> dict:
+    """Run every benchmark stage and write the JSON trajectory to ``out``.
+
+    ``suite="training"`` (default) runs the PR 3 hot-path stages and writes
+    ``BENCH_PR3.json``; ``suite="serving"`` runs the serving fast-path stages
+    (:mod:`repro.perf.bench_serving`) and writes ``BENCH_PR5.json``.
+    """
+    if suite not in ("training", "serving"):
+        raise ValueError(f"unknown bench suite '{suite}'")
+    if out is None:
+        out = DEFAULT_OUTPUT if suite == "training" else SERVING_OUTPUT
     rng = new_rng(seed)
     repeats = 10 if quick else 50
     n_users = users if users is not None else (1500 if quick else 6000)
     epochs = 1 if quick else 2
 
     results: list[dict] = []
-    stages = [
-        ("embedding_bag", lambda: bench_embedding_bag(rng, repeats)),
-        ("sampled_softmax", lambda: bench_sampled_softmax(rng, repeats)),
-        ("optimizer_step", lambda: bench_optimizer_step(rng, repeats)),
-        ("epoch_throughput",
-         lambda: bench_epoch_throughput(n_users, seed, epochs)),
-    ]
+    if suite == "training":
+        stages = [
+            ("embedding_bag", lambda: bench_embedding_bag(rng, repeats)),
+            ("sampled_softmax", lambda: bench_sampled_softmax(rng, repeats)),
+            ("optimizer_step", lambda: bench_optimizer_step(rng, repeats)),
+            ("epoch_throughput",
+             lambda: bench_epoch_throughput(n_users, seed, epochs)),
+        ]
+    else:
+        from repro.perf.bench_serving import serving_stages
+        stages = serving_stages(rng, quick, seed,
+                                repeats=3 if quick else 10)
     for name, stage in stages:
         with obs.span(f"bench.{name}"):
             results.extend(stage())
@@ -182,7 +198,8 @@ def run_bench(quick: bool = False, out: str | Path = DEFAULT_OUTPUT,
 
     report = {
         "meta": {
-            "bench": "PR3",
+            "bench": "PR3" if suite == "training" else "PR5",
+            "suite": suite,
             "quick": quick,
             "users": n_users,
             "epochs": epochs,

@@ -315,6 +315,14 @@ class FlakyEmbeddingStore:
         self._maybe_fail()
         return self.store.get_many(keys)
 
+    def get_batch(self, keys):
+        """One failure roll for the whole batch — a batch read is one RPC."""
+        self._maybe_fail()
+        return self.store.get_batch(keys)
+
+    def as_matrix(self):
+        return self.store.as_matrix()
+
     def put(self, key: Hashable, vector) -> None:
         self.store.put(key, vector)
 

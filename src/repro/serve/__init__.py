@@ -1,0 +1,12 @@
+"""Serving frontend: request coalescing onto the batched lookup fast path.
+
+The scalar serving API (`one user id in, one embedding out`) is what callers
+want to write; the batched proxy/store/ANN paths are what the hardware wants
+to run.  :class:`MicroBatcher` bridges the two — single-key requests are
+queued and flushed as one batch when the batch fills up or a deadline
+expires, so scalar callers transparently ride the vectorised path.
+"""
+
+from repro.serve.batcher import MicroBatcher, PendingResult
+
+__all__ = ["MicroBatcher", "PendingResult"]

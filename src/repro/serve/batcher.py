@@ -1,0 +1,181 @@
+"""Request micro-batching: coalesce scalar lookups into bounded batches.
+
+Serving traffic arrives one key at a time, but every layer below
+(:meth:`ServingProxy.get_embeddings_batch`, the columnar store, the
+multi-query LSH index) is fastest on whole batches.  :class:`MicroBatcher`
+sits in between: requests queue up and the queue is flushed as one call to
+``flush_fn`` when it reaches ``max_batch`` entries (size trigger) or the
+oldest entry has waited ``max_delay_seconds`` (deadline trigger, checked on
+every submit and on :meth:`MicroBatcher.poll`).
+
+The clock is injectable (the repo-wide ``ManualClock`` pattern), so deadline
+semantics are tested deterministically — no sleeps, no wall-clock flakes.
+Thread-safe: submits may come from many threads; ``flush_fn`` runs outside
+the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from typing import Callable, Hashable, Sequence
+
+from repro.obs import runtime as obs
+
+__all__ = ["MicroBatcher", "PendingResult"]
+
+
+class PendingResult:
+    """Handle for one submitted key; resolves when its batch is flushed."""
+
+    __slots__ = ("key", "_event", "_value", "_error")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block until the batch containing this key has been flushed.
+
+        Re-raises the flush's exception if the batch failed.  With a
+        ``timeout`` (seconds) an unresolved wait raises :class:`TimeoutError`
+        instead of blocking forever.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request for key {self.key!r} still pending")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class MicroBatcher:
+    """Coalesce single-key requests into size/deadline-bounded batches.
+
+    Parameters
+    ----------
+    flush_fn:
+        ``flush_fn(keys) -> sequence`` resolving one value per key, in
+        order (e.g. ``proxy.get_embeddings_batch`` — a matrix's rows).
+    max_batch:
+        Flush as soon as the queue holds this many requests.
+    max_delay_seconds:
+        Flush when the oldest queued request has waited this long.  The
+        deadline is armed by the first submit after a flush and checked on
+        every later submit and on :meth:`poll`.
+    clock:
+        Monotonic time source; inject a ``ManualClock`` in tests.
+    """
+
+    def __init__(self, flush_fn: Callable[[list[Hashable]], Sequence],
+                 max_batch: int = 64, max_delay_seconds: float = 0.002,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        if max_delay_seconds < 0:
+            raise ValueError(
+                f"max_delay_seconds must be >= 0: {max_delay_seconds}")
+        self._flush_fn = flush_fn
+        self.max_batch = max_batch
+        self.max_delay_seconds = max_delay_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queue: list[PendingResult] = []
+        self._deadline: float | None = None
+        #: Flush tallies by trigger: ``size`` / ``deadline`` / ``manual`` /
+        #: ``sync`` (a blocking :meth:`get` forcing its own batch out).
+        self.flush_reasons: Counter[str] = Counter()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute flush deadline of the current batch (None when empty)."""
+        with self._lock:
+            return self._deadline
+
+    def submit(self, key: Hashable) -> PendingResult:
+        """Queue one key; returns a handle that resolves at flush time."""
+        pending = PendingResult(key)
+        reason = None
+        with self._lock:
+            self._queue.append(pending)
+            if len(self._queue) >= self.max_batch:
+                reason = "size"
+            elif self._deadline is None:
+                self._deadline = self._clock() + self.max_delay_seconds
+            elif self._clock() >= self._deadline:
+                reason = "deadline"
+        if reason is not None:
+            self._flush(reason)
+        return pending
+
+    def poll(self) -> int:
+        """Flush if the deadline has expired; returns flushed batch size.
+
+        Call this from the serving loop's idle path so a lone request never
+        waits past its deadline just because no later submit arrived.
+        """
+        with self._lock:
+            expired = (self._deadline is not None
+                       and self._clock() >= self._deadline)
+        return self._flush("deadline") if expired else 0
+
+    def flush(self) -> int:
+        """Flush whatever is queued right now; returns the batch size."""
+        return self._flush("manual")
+
+    def get(self, key: Hashable):
+        """Blocking convenience lookup: submit, force a flush, return.
+
+        If the submit itself triggered a size/deadline flush the value is
+        already resolved; otherwise the caller's own batch (plus anything
+        queued with it) is flushed synchronously.
+        """
+        pending = self.submit(key)
+        if not pending.done:
+            self._flush("sync")
+        return pending.result()
+
+    def _flush(self, reason: str) -> int:
+        with self._lock:
+            batch = self._queue
+            self._queue = []
+            self._deadline = None
+        if not batch:
+            return 0
+        self.flush_reasons[reason] += 1
+        obs.count("serve.flushes", trigger=reason)
+        obs.observe("serve.batch_size", len(batch))
+        keys = [pending.key for pending in batch]
+        try:
+            values = self._flush_fn(keys)
+        except BaseException as exc:
+            for pending in batch:
+                pending._fail(exc)
+            return len(batch)
+        if len(values) != len(batch):
+            exc = ValueError(
+                f"flush_fn returned {len(values)} values for {len(batch)} keys")
+            for pending in batch:
+                pending._fail(exc)
+            return len(batch)
+        for pending, value in zip(batch, values):
+            pending._resolve(value)
+        return len(batch)

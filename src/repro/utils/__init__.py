@@ -1,7 +1,8 @@
 """Shared utilities: deterministic RNG plumbing, timers, atomic file IO."""
 
 from repro.utils.fileio import (DigestMismatchError, atomic_savez,
-                                atomic_write_bytes, verify_digest)
+                                atomic_write_bytes, mmap_npz_member,
+                                verify_digest)
 from repro.utils.rng import (capture_rng_tree, get_generator_state, new_rng,
                              restore_rng_tree, set_generator_state, spawn_rngs)
 from repro.utils.timer import ManualClock, Timer, timed

@@ -1,0 +1,326 @@
+"""Serving fast path: batch partition, columnar store/cache, micro-batcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lookalike import (EmbeddingStore, LRUCache, ServingProxy,
+                             ServingResilience)
+from repro.resilience import CircuitBreaker, FlakyEmbeddingStore, RetryPolicy
+from repro.serve import MicroBatcher
+from repro.utils import ManualClock as FakeClock
+
+DIM = 4
+
+
+def fast_resilience(**kwargs) -> ServingResilience:
+    clock = FakeClock()
+    defaults = dict(
+        retry=RetryPolicy(max_attempts=3, backoff_seconds=0.01, clock=clock,
+                          sleep=clock.sleep,
+                          retry_on=(ConnectionError, TimeoutError, OSError)),
+        breaker=CircuitBreaker(failure_threshold=5, reset_seconds=60.0,
+                               clock=clock))
+    defaults.update(kwargs)
+    return ServingResilience(**defaults)
+
+
+def make_store(keys, seed=0):
+    rng = np.random.default_rng(seed)
+    store = EmbeddingStore(dim=DIM)
+    store.put_many(list(keys), rng.normal(size=(len(keys), DIM)))
+    return store
+
+
+class TestBatchPartition:
+    """get_embeddings_batch splits one batch into per-source groups."""
+
+    def test_every_source_in_one_batch(self):
+        """cache + stale + inferred + default resolved in a single call."""
+        store = make_store(["warm", "staled"])
+        flaky = FlakyEmbeddingStore(store, failure_rate=0.0)
+        proxy = ServingProxy(flaky, cache_capacity=1,
+                             infer_fn=lambda uid: (np.full(DIM, 0.5)
+                                                   if uid == "fresh" else None),
+                             resilience=fast_resilience())
+        proxy.lookup_batch(["warm", "staled"])   # both now stale-snapshotted
+        proxy.cache = LRUCache(8, name="serving")
+        proxy.lookup_batch(["warm"])             # re-warm only one key
+        flaky.failure_rate = 1.0
+
+        matrix, sources = proxy.lookup_batch(["warm", "staled", "fresh",
+                                              "ghost"])
+        assert list(sources) == ["cache", "stale", "inferred", "default"]
+        np.testing.assert_array_equal(matrix[0], store.get("warm"))
+        np.testing.assert_array_equal(matrix[1], store.get("staled"))
+        np.testing.assert_array_equal(matrix[2], np.full(DIM, 0.5))
+        np.testing.assert_array_equal(matrix[3], np.zeros(DIM))
+        assert proxy.store_errors == 1           # one failure for the group
+        assert proxy.source_counts["stale"] == 1
+
+    def test_legacy_mode_miss_raises_or_fills_default(self):
+        proxy = ServingProxy(make_store(["a"]), cache_capacity=4)
+        with pytest.raises(KeyError, match="ghost"):
+            proxy.get_embeddings_batch(["a", "ghost"])
+        filled = proxy.get_embeddings_batch(["a", "ghost"],
+                                            default=np.ones(DIM))
+        np.testing.assert_array_equal(filled[1], np.ones(DIM))
+        matrix, mask = proxy.get_embeddings_masked_batch(["a", "ghost"])
+        assert mask.tolist() == [True, False]
+        np.testing.assert_array_equal(matrix[1], np.zeros(DIM))
+
+    def test_breaker_open_mid_sequence_skips_store(self):
+        """Once the breaker opens, later batches fail over without new reads."""
+        store = make_store(["a", "b"])
+        flaky = FlakyEmbeddingStore(store, failure_rate=0.0)
+        res = fast_resilience(
+            breaker=CircuitBreaker(failure_threshold=2, reset_seconds=60.0,
+                                   clock=FakeClock()))
+        proxy = ServingProxy(flaky, cache_capacity=1, resilience=res)
+        proxy.lookup_batch(["a", "b"])           # warm the stale snapshot
+        proxy.cache = LRUCache(8, name="serving")
+
+        flaky.fail_next(3)                       # all retry attempts fail
+        __, sources = proxy.lookup_batch(["a", "b"])
+        assert list(sources) == ["stale", "stale"]
+        assert res.breaker.state == CircuitBreaker.OPEN
+        injected_before = flaky.injected_failures
+
+        proxy.cache = LRUCache(8, name="serving")
+        __, sources = proxy.lookup_batch(["a", "b"])
+        assert list(sources) == ["stale", "stale"]
+        assert flaky.injected_failures == injected_before  # store never hit
+        assert proxy.store_errors == 2
+
+    def test_duplicate_keys_share_one_resolution(self):
+        proxy = ServingProxy(make_store(["a", "b"]), cache_capacity=8,
+                             resilience=fast_resilience())
+        matrix, sources = proxy.lookup_batch(["a", "a", "b"])
+        assert list(sources) == ["store", "store", "store"]
+        np.testing.assert_array_equal(matrix[0], matrix[1])
+        matrix, sources = proxy.lookup_batch(["a", "a"])
+        assert list(sources) == ["cache", "cache"]
+        assert proxy.source_counts == {"store": 3, "cache": 2}
+
+    def test_source_counts_match_batch_labels(self):
+        proxy = ServingProxy(make_store(["a", "b", "c"]), cache_capacity=8)
+        proxy.lookup_batch(["a", "b"])
+        __, sources = proxy.lookup_batch(["a", "b", "c"])
+        assert list(sources) == ["cache", "cache", "store"]
+        assert proxy.source_counts == {"store": 3, "cache": 2}
+
+
+class TestLRUCacheBatch:
+    def test_get_many_aggregates_counters_and_gathers_hits(self):
+        cache = LRUCache(capacity=4)
+        cache.put_many(["a", "b"], np.eye(2))
+        hits, mask = cache.get_many(["a", "miss1", "b", "miss2"])
+        assert mask.tolist() == [True, False, True, False]
+        np.testing.assert_array_equal(hits, np.eye(2))
+        assert (cache.hits, cache.misses) == (2, 2)
+
+    def test_get_many_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put_many(["a", "b"], np.zeros((2, 1)))
+        cache.get_many(["a"])                    # a becomes most recent
+        cache.put("c", np.zeros(1))              # evicts b, not a
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.evictions == 1
+
+    def test_put_many_eviction_recycles_slots(self):
+        cache = LRUCache(capacity=2)
+        cache.put_many(["a", "b", "c"], np.arange(6.0).reshape(3, 2))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("a") is None
+        np.testing.assert_array_equal(cache.get("b"), [2.0, 3.0])
+        np.testing.assert_array_equal(cache.get("c"), [4.0, 5.0])
+        cache.put("d", np.array([9.0, 9.0]))     # reuses b's or c's slot
+        np.testing.assert_array_equal(cache.get("d"), [9.0, 9.0])
+
+    def test_first_vector_fixes_dim(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", np.zeros(3))
+        with pytest.raises(ValueError):
+            cache.put("b", np.zeros(5))
+
+    def test_overwrite_updates_in_place(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", np.zeros(2))
+        cache.put("a", np.ones(2))
+        assert len(cache) == 1
+        np.testing.assert_array_equal(cache.get("a"), np.ones(2))
+
+
+class TestEmbeddingStoreColumnar:
+    def test_get_many_raises_on_first_missing_key(self):
+        store = make_store(["a", "b"])
+        with pytest.raises(KeyError, match="ghost"):
+            store.get_many(["a", "ghost", "b"])
+
+    def test_get_batch_masks_missing(self):
+        store = make_store(["a"])
+        out, found = store.get_batch(["a", "ghost"])
+        assert found.tolist() == [True, False]
+        np.testing.assert_array_equal(out[1], np.zeros(DIM))
+
+    def test_rows_stay_stable_across_overwrites(self):
+        store = make_store(["a", "b"])
+        rows = store.rows_for(["a", "b"])
+        store.put("a", np.ones(DIM))
+        assert store.rows_for(["a", "b"]).tolist() == rows.tolist()
+        np.testing.assert_array_equal(store.get("a"), np.ones(DIM))
+
+    def test_put_many_duplicate_keys_last_wins(self):
+        store = EmbeddingStore(dim=1)
+        store.put_many(["a", "a"], np.array([[1.0], [2.0]]))
+        assert len(store) == 1
+        np.testing.assert_array_equal(store.get("a"), [2.0])
+
+    def test_as_matrix_alignment(self):
+        store = make_store(["a", "b", "c"])
+        keys, matrix = store.as_matrix()
+        for pos, key in enumerate(keys):
+            np.testing.assert_array_equal(matrix[pos], store.get(key))
+
+
+class TestSnapshotMmap:
+    def test_snapshot_round_trip_is_mapped_and_equal(self, tmp_path):
+        store = make_store([f"u{i}" for i in range(20)])
+        path = tmp_path / "snap.npz"
+        store.save_snapshot(path)
+
+        mapped = EmbeddingStore.load(path, mmap=True)
+        assert mapped.is_mapped
+        eager = EmbeddingStore.load(path)
+        assert not eager.is_mapped
+        for key in store.keys():
+            np.testing.assert_array_equal(mapped.get(key), store.get(key))
+            np.testing.assert_array_equal(eager.get(key), store.get(key))
+
+    def test_mapped_store_copy_on_write(self, tmp_path):
+        store = make_store(["a", "b"])
+        path = tmp_path / "snap.npz"
+        store.save_snapshot(path)
+
+        mapped = EmbeddingStore.load(path, mmap=True)
+        mapped.put("a", np.ones(DIM))
+        assert not mapped.is_mapped                   # materialised a copy
+        np.testing.assert_array_equal(mapped.get("a"), np.ones(DIM))
+        np.testing.assert_array_equal(mapped.get("b"), store.get("b"))
+        # the snapshot on disk is untouched
+        again = EmbeddingStore.load(path, mmap=True)
+        np.testing.assert_array_equal(again.get("a"), store.get("a"))
+
+    def test_compressed_save_falls_back_to_eager(self, tmp_path):
+        store = make_store(["a", "b"])
+        path = tmp_path / "store.npz"
+        store.save(path)                              # compressed: not mappable
+        loaded = EmbeddingStore.load(path, mmap=True)
+        assert not loaded.is_mapped
+        np.testing.assert_array_equal(loaded.get("a"), store.get("a"))
+
+
+class TestMicroBatcher:
+    def test_size_trigger_flushes_in_order(self):
+        flushed = []
+
+        def flush_fn(keys):
+            flushed.append(list(keys))
+            return [k.upper() for k in keys]
+
+        batcher = MicroBatcher(flush_fn, max_batch=3, clock=FakeClock())
+        a, b = batcher.submit("a"), batcher.submit("b")
+        assert not a.done and len(batcher) == 2
+        c = batcher.submit("c")
+        assert flushed == [["a", "b", "c"]]
+        assert (a.result(), b.result(), c.result()) == ("A", "B", "C")
+        assert batcher.flush_reasons == {"size": 1}
+        assert len(batcher) == 0
+
+    def test_deadline_trigger_on_submit(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(lambda keys: keys, max_batch=100,
+                               max_delay_seconds=1.0, clock=clock)
+        a = batcher.submit("a")
+        assert batcher.deadline == 1.0               # armed by first submit
+        clock.advance(0.5)
+        batcher.submit("b")                          # not yet expired
+        assert not a.done
+        clock.advance(0.5)
+        c = batcher.submit("c")                      # expired: flushes all 3
+        assert a.done and c.done
+        assert batcher.flush_reasons == {"deadline": 1}
+        assert batcher.deadline is None
+
+    def test_deadline_trigger_on_poll(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(lambda keys: keys, max_batch=100,
+                               max_delay_seconds=1.0, clock=clock)
+        lone = batcher.submit("lone")
+        assert batcher.poll() == 0                   # deadline not reached
+        clock.advance(1.0)
+        assert batcher.poll() == 1                   # lone request flushed
+        assert lone.result() == "lone"
+        assert batcher.poll() == 0                   # idempotent when empty
+
+    def test_manual_flush_and_empty_flush(self):
+        batcher = MicroBatcher(lambda keys: keys, clock=FakeClock())
+        assert batcher.flush() == 0                  # empty: not even counted
+        assert batcher.flush_reasons == {}
+        batcher.submit("a")
+        assert batcher.flush() == 1
+        assert batcher.flush_reasons == {"manual": 1}
+
+    def test_get_is_synchronous(self):
+        batcher = MicroBatcher(lambda keys: [k * 2 for k in keys],
+                               max_batch=100, clock=FakeClock())
+        batcher.submit("queued")
+        assert batcher.get("mine") == "minemine"     # flushes both
+        assert batcher.flush_reasons == {"sync": 1}
+        assert len(batcher) == 0
+
+    def test_flush_error_propagates_to_every_handle(self):
+        def flush_fn(keys):
+            raise ConnectionError("backend down")
+
+        batcher = MicroBatcher(flush_fn, max_batch=2, clock=FakeClock())
+        a = batcher.submit("a")
+        b = batcher.submit("b")
+        for handle in (a, b):
+            with pytest.raises(ConnectionError, match="backend down"):
+                handle.result()
+
+    def test_length_mismatch_fails_the_batch(self):
+        batcher = MicroBatcher(lambda keys: keys[:-1], max_batch=2,
+                               clock=FakeClock())
+        a = batcher.submit("a")
+        batcher.submit("b")
+        with pytest.raises(ValueError, match="1 values for 2 keys"):
+            a.result()
+
+    def test_result_timeout(self):
+        batcher = MicroBatcher(lambda keys: keys, max_batch=100,
+                               clock=FakeClock())
+        pending = batcher.submit("a")
+        with pytest.raises(TimeoutError, match="'a'"):
+            pending.result(timeout=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(lambda keys: keys, max_batch=0)
+        with pytest.raises(ValueError, match="max_delay_seconds"):
+            MicroBatcher(lambda keys: keys, max_delay_seconds=-1.0)
+
+    def test_fronting_a_serving_proxy(self):
+        """The intended wiring: batcher flushes into get_embeddings_batch."""
+        store = make_store(["a", "b", "c"])
+        proxy = ServingProxy(store, cache_capacity=8)
+        batcher = MicroBatcher(proxy.get_embeddings_batch, max_batch=3,
+                               clock=FakeClock())
+        handles = [batcher.submit(k) for k in ("a", "b", "c")]
+        for key, handle in zip(("a", "b", "c"), handles):
+            np.testing.assert_array_equal(handle.result(), store.get(key))
+        assert proxy.source_counts["store"] == 3
