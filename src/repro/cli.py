@@ -12,6 +12,14 @@ Commands mirror the deployment workflow of §IV-D at example scale:
 * ``report``       — render a telemetry JSONL dump (``train --telemetry``)
 * ``check``        — correctness verification: gradcheck coverage sweep,
   differential oracles, and golden-digest comparison (``repro.check``)
+* ``trace``        — request-scoped traces from a live serving workload
+  (text summary or Chrome ``chrome://tracing`` JSON export)
+* ``slo``          — evaluate latency/availability SLOs over a recorded
+  timeline or a live workload; exit code is the verdict
+* ``profile``      — sampling profiler over a serving workload
+  (collapsed-stack/flamegraph output)
+* ``top``          — live serving dashboard frames (QPS, percentiles,
+  cache hit rate, breaker states, SLO budget)
 
 ``train`` grows crash-safety flags: ``--checkpoint-dir`` /
 ``--checkpoint-every`` write atomic checkpoints during training and
@@ -146,6 +154,64 @@ def build_parser() -> argparse.ArgumentParser:
                           default="table",
                           help="summary tables (default) or a Prometheus-"
                                "style text snapshot")
+
+    def add_workload_args(p: argparse.ArgumentParser,
+                          requests: int = 400) -> None:
+        p.add_argument("--requests", type=int, default=requests,
+                       help=f"requests to drive (default: {requests})")
+        p.add_argument("--threads", type=int, default=4,
+                       help="concurrent client threads (default: 4)")
+        p.add_argument("--failure-rate", type=float, default=0.0,
+                       help="injected store failure probability (default: 0)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_trace = sub.add_parser(
+        "trace", help="request-scoped traces from a live serving workload")
+    add_workload_args(p_trace)
+    p_trace.add_argument("--export", choices=("summary", "chrome"),
+                         default="summary",
+                         help="text summary (default) or Chrome trace-event "
+                              "JSON for chrome://tracing / Perfetto")
+    p_trace.add_argument("--out", default=None, metavar="PATH",
+                         help="output path (required for --export chrome)")
+    p_trace.add_argument("--limit", type=int, default=3,
+                         help="traces rendered per retention pool in the "
+                              "summary (default: 3)")
+
+    p_slo = sub.add_parser(
+        "slo", help="evaluate SLOs over a timeline or a live workload")
+    add_workload_args(p_slo)
+    p_slo.add_argument("--objective", action="append", default=None,
+                       metavar="SPEC",
+                       help="declarative objective, repeatable — e.g. "
+                            "'p99 latency <= 50ms' or "
+                            "'availability >= 99.9%%' (defaults: both)")
+    p_slo.add_argument("--window", type=float, default=300.0,
+                       help="rolling window in seconds (default: 300)")
+    p_slo.add_argument("--timeline", default=None, metavar="PATH",
+                       help="JSONL of recorded outcomes ({'ts': s, "
+                            "'latency_ms': x, 'ok': bool} per line) "
+                            "evaluated on a deterministic clock instead of "
+                            "driving a live workload")
+
+    p_profile = sub.add_parser(
+        "profile", help="sampling profiler over a serving workload")
+    add_workload_args(p_profile, requests=2000)
+    p_profile.add_argument("--interval-ms", type=float, default=5.0,
+                          help="sampling interval (default: 5ms ≈ 200 Hz)")
+    p_profile.add_argument("--out", default=None, metavar="PATH",
+                          help="write collapsed stacks (flamegraph.pl / "
+                               "speedscope input) to PATH")
+    p_profile.add_argument("--top", type=int, default=15,
+                          help="rows in the printed top-functions table")
+
+    p_top = sub.add_parser(
+        "top", help="live serving dashboard (QPS, percentiles, SLO budget)")
+    add_workload_args(p_top, requests=2000)
+    p_top.add_argument("--frames", type=int, default=3,
+                       help="dashboard frames to render (default: 3)")
+    p_top.add_argument("--interval", type=float, default=0.5,
+                       help="seconds between frames (default: 0.5)")
 
     return parser
 
@@ -283,13 +349,170 @@ def _cmd_faults(args, out) -> int:
 
 
 def _cmd_report(args, out) -> int:
+    import json
+
     from repro.obs import events_to_prometheus, load_jsonl, render_events
 
-    events = load_jsonl(args.input)
+    try:
+        events = load_jsonl(args.input)
+    except FileNotFoundError:
+        print(f"report: no such telemetry dump: {args.input}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        print(f"report: {args.input} is not valid JSONL "
+              f"(truncated dump?): {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"report: {args.input} contains no telemetry events",
+              file=sys.stderr)
+        return 2
     if args.format == "prometheus":
         print(events_to_prometheus(events), file=out, end="")
     else:
         print(render_events(events), file=out)
+    return 0
+
+
+def _build_workload(args):
+    from repro.serve import ServingWorkload
+
+    return ServingWorkload(seed=args.seed, failure_rate=args.failure_rate)
+
+
+def _cmd_trace(args, out) -> int:
+    from repro import obs
+
+    if args.export == "chrome" and not args.out:
+        print("trace: --export chrome requires --out", file=sys.stderr)
+        return 2
+    workload = _build_workload(args)
+    with obs.session() as telemetry:
+        result = workload.run(requests=args.requests, threads=args.threads)
+    store = telemetry.traces
+    if args.export == "chrome":
+        exported = obs.dump_chrome(store.traces() + store.error_traces()
+                                   + store.slowest_traces(), args.out)
+        print(f"trace: {exported} events from {store.finished} requests "
+              f"written to {args.out}", file=out)
+        return 0
+    print(f"trace: {result.requests} requests at {result.qps:,.0f} qps — "
+          f"{store.finished} traces finished, {len(store.traces())} kept, "
+          f"{len(store.error_traces())} errors, "
+          f"{len(store.slowest_traces())} slowest", file=out)
+    for title, pool in (("slowest", store.slowest_traces()[:args.limit]),
+                        ("errors", store.error_traces()[:args.limit])):
+        for trace in pool:
+            print(f"\n[{title}]", file=out)
+            print(trace.render(), file=out, end="")
+    return 0
+
+
+def _load_timeline(path):
+    """Recorded SLO samples: one ``{'ts', 'latency_ms', 'ok'}`` per line."""
+    import json
+    from pathlib import Path
+
+    samples = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        samples.append((float(rec["ts"]),
+                        float(rec.get("latency_ms", 0.0)) / 1e3,
+                        bool(rec.get("ok", True))))
+    return samples
+
+
+def _cmd_slo(args, out) -> int:
+    import json
+
+    from repro.obs import SLOEngine, parse_objective
+    from repro.utils.timer import ManualClock
+
+    specs = args.objective or ["p99 latency <= 50ms",
+                               "availability >= 99.9%"]
+    try:
+        objectives = [parse_objective(spec, window_seconds=args.window)
+                      for spec in specs]
+    except ValueError as exc:
+        print(f"slo: {exc}", file=sys.stderr)
+        return 2
+
+    if args.timeline:
+        try:
+            samples = _load_timeline(args.timeline)
+        except FileNotFoundError:
+            print(f"slo: no such timeline: {args.timeline}", file=sys.stderr)
+            return 2
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            print(f"slo: bad timeline {args.timeline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not samples:
+            print(f"slo: timeline {args.timeline} is empty", file=sys.stderr)
+            return 2
+        clock = ManualClock()
+        engine = SLOEngine(objectives, clock=clock)
+        for ts, latency, ok in samples:
+            clock.now = max(clock.now, ts)
+            engine.record(latency, ok=ok, ts=ts)
+    else:
+        engine = SLOEngine(objectives)
+        workload = _build_workload(args)
+        workload.run(requests=args.requests, threads=args.threads,
+                     slo_engine=engine)
+
+    statuses = engine.evaluate()
+    print(engine.render(), file=out)
+    return 0 if all(s.passed for s in statuses) else 1
+
+
+def _cmd_profile(args, out) -> int:
+    from repro.obs import SamplingProfiler
+
+    workload = _build_workload(args)
+    profiler = SamplingProfiler(interval_seconds=args.interval_ms / 1e3)
+    with profiler:
+        result = workload.run(requests=args.requests, threads=args.threads)
+    print(f"profile: {profiler.samples} samples over {result.requests} "
+          f"requests ({result.qps:,.0f} qps)", file=out)
+    print(profiler.render_top(args.top), file=out)
+    if args.out:
+        lines = profiler.write_collapsed(args.out)
+        print(f"collapsed stacks ({lines} lines) written to {args.out}",
+              file=out)
+    return 0
+
+
+def _cmd_top(args, out) -> int:
+    import threading
+    import time as _time
+
+    from repro import obs
+    from repro.obs import Dashboard, SLOEngine, availability_slo, latency_slo
+
+    workload = _build_workload(args)
+    engine = SLOEngine([latency_slo("serve-p99", threshold_ms=50.0),
+                        availability_slo("serve-avail", 99.0)])
+    with obs.session() as telemetry:
+        dashboard = Dashboard(telemetry, slo_engine=engine)
+        runner = threading.Thread(
+            target=lambda: workload.run(requests=args.requests,
+                                        threads=args.threads,
+                                        slo_engine=engine),
+            name="workload")
+        runner.start()
+        frame = 0
+        while frame < args.frames:
+            _time.sleep(args.interval if runner.is_alive() else 0.0)
+            frame += 1
+            print(f"--- frame {frame}/{args.frames} ---", file=out)
+            print(dashboard.frame(), file=out)
+            print(file=out)
+            if not runner.is_alive() and frame < args.frames:
+                break  # workload drained; no point rendering idle frames
+        runner.join()
     return 0
 
 
@@ -355,6 +578,10 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "report": _cmd_report,
     "check": _cmd_check,
+    "trace": _cmd_trace,
+    "slo": _cmd_slo,
+    "profile": _cmd_profile,
+    "top": _cmd_top,
 }
 
 

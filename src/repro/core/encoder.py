@@ -18,6 +18,7 @@ from repro.hashing import DynamicHashTable
 from repro.nn import functional as F
 from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.tensor import Parameter, Tensor, stable_sigmoid
+from repro.obs import runtime as obs
 from repro.utils.rng import new_rng
 
 __all__ = ["HashedEmbeddingBag", "FieldAwareEncoder"]
@@ -284,6 +285,11 @@ class FieldAwareEncoder(Module):
         eval Tensor forward — guarded by the
         ``core.encoder.inference_vs_autograd`` differential oracle.
         """
+        with obs.span("encoder.infer"):
+            return self._forward_arrays(batch)
+
+    def _forward_arrays(self,
+                        batch: UserBatch) -> tuple[np.ndarray, np.ndarray]:
         act = _ACT_DATA[self.activation]
         first: np.ndarray | None = None
         for name, bag in self._bags.items():

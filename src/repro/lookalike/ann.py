@@ -172,7 +172,7 @@ class LSHIndex:
         """
         if k <= 0:
             raise ValueError(f"k must be positive: {k}")
-        with obs.latency("lsh.query_seconds"):
+        with obs.latency("lsh.query_seconds"), obs.span("lsh.query"):
             query = np.asarray(query, dtype=np.float64).ravel()
             candidate_idx = self.candidates(query)
             obs.observe("lsh.candidates", candidate_idx.size)
@@ -198,7 +198,7 @@ class LSHIndex:
         """
         if k <= 0:
             raise ValueError(f"k must be positive: {k}")
-        with obs.latency("lsh.query_batch_seconds"):
+        with obs.latency("lsh.query_batch_seconds"), obs.span("lsh.query_batch"):
             queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
             per_query = self.candidates_batch(queries)
             fallbacks = 0
@@ -210,8 +210,9 @@ class LSHIndex:
                             everything = np.arange(self.size)
                         per_query[q] = everything
                         fallbacks += 1
-            for candidate_idx in per_query:
-                obs.observe("lsh.candidates", candidate_idx.size)
+            obs.observe_many("lsh.candidates",
+                             [candidate_idx.size
+                              for candidate_idx in per_query])
             if fallbacks:
                 obs.count("lsh.exact_fallbacks", fallbacks)
             vectors = self._vectors

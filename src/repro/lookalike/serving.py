@@ -170,14 +170,16 @@ class ServingProxy:
 
         source = None
         try:
-            vec = self._store_get(user_id)
+            with obs.span("proxy.store"):
+                vec = self._store_get(user_id)
             if vec is not None:
                 source = "store"
                 if self.resilience is not None:
                     self._stale[user_id] = vec
-        except (CircuitOpenError, DeadlineExceeded) + _STORE_ERRORS:
+        except (CircuitOpenError, DeadlineExceeded) + _STORE_ERRORS as exc:
             self.store_errors += 1
             obs.count("serving.store_errors")
+            obs.event("store.outage", error=type(exc).__name__)
             stale = self._stale.get(user_id)
             if stale is not None:
                 vec, source = stale, "stale"
@@ -236,7 +238,8 @@ class ServingProxy:
 
         # 1. cache: one probe over the raw positions, one fancy-indexed
         # scatter of the hits — the steady-state fast path ends here
-        hit_matrix, hit = self.cache.get_many(user_ids)
+        with obs.span("proxy.cache"):
+            hit_matrix, hit = self.cache.get_many(user_ids)
         hit_rows = np.flatnonzero(hit)
         if hit_rows.size:
             out[hit_rows] = hit_matrix
@@ -266,10 +269,12 @@ class ServingProxy:
         # 2. store: one guarded gather for the whole pending group; an
         # outage fails the group as a unit and the stale sweep takes over
         try:
-            got, found = self._store_get_batch(uniq)
-        except (CircuitOpenError, DeadlineExceeded) + _STORE_ERRORS:
+            with obs.span("proxy.store"):
+                got, found = self._store_get_batch(uniq)
+        except (CircuitOpenError, DeadlineExceeded) + _STORE_ERRORS as exc:
             self.store_errors += 1
             obs.count("serving.store_errors")
+            obs.event("store.outage", error=type(exc).__name__)
             still = []
             for row in pending:
                 stale = self._stale.get(uniq[row])
@@ -291,25 +296,26 @@ class ServingProxy:
 
         # 3. inference for the remainder, with one batched write-back
         if pending.size and self._infer_fn is not None:
-            still, wb_keys, wb_rows = [], [], []
-            for row in pending:
-                vec = self._infer_fn(uniq[row])
-                if vec is None:
-                    still.append(row)
-                    continue
-                self.inferences += 1
-                res[row] = vec
-                rsrc[row] = "inferred"
-                wb_keys.append(uniq[row])
-                wb_rows.append(res[row])
-                if self.resilience is not None:
-                    self._stale[uniq[row]] = res[row]
-            if wb_keys:
-                try:
-                    self.store.put_many(wb_keys, np.stack(wb_rows))
-                except _STORE_ERRORS:
-                    pass  # store write-back is best-effort
-            pending = np.asarray(still, dtype=np.int64)
+            with obs.span("proxy.infer"):
+                still, wb_keys, wb_rows = [], [], []
+                for row in pending:
+                    vec = self._infer_fn(uniq[row])
+                    if vec is None:
+                        still.append(row)
+                        continue
+                    self.inferences += 1
+                    res[row] = vec
+                    rsrc[row] = "inferred"
+                    wb_keys.append(uniq[row])
+                    wb_rows.append(res[row])
+                    if self.resilience is not None:
+                        self._stale[uniq[row]] = res[row]
+                if wb_keys:
+                    try:
+                        self.store.put_many(wb_keys, np.stack(wb_rows))
+                    except _STORE_ERRORS:
+                        pass  # store write-back is best-effort
+                pending = np.asarray(still, dtype=np.int64)
 
         # 4. defaults (resilient) or misses (legacy); neither is cached
         if pending.size:

@@ -1,8 +1,10 @@
-"""``repro.obs`` — unified telemetry: metrics registry, span tracer, exporters.
+"""``repro.obs`` — unified telemetry: metrics, traces, SLOs, profiles.
 
 The observability layer behind the paper's efficiency analysis (Table V,
-Figs 6/9/10).  Instrumentation across ``core``/``hashing``/``sampling``/
-``lookalike`` is default-on but free until a session is installed::
+Figs 6/9/10) *and* its serving claim — per-request accounting, not just
+aggregate epoch timers.  Instrumentation across ``core``/``hashing``/
+``sampling``/``lookalike``/``serve`` is default-on but free until a session
+is installed::
 
     from repro import obs
 
@@ -13,6 +15,12 @@ Figs 6/9/10).  Instrumentation across ``core``/``hashing``/``sampling``/
     telemetry.dump_jsonl("run.jsonl")        # replayable event log
     print(telemetry.to_prometheus())         # scrapeable text snapshot
 
+Request-scoped tracing rides the same session: ``with obs.request("r"):``
+opens a trace whose spans/events land in ``telemetry.traces`` (tail-sampled,
+Chrome-exportable); ``SLOEngine`` evaluates latency/availability objectives
+over rolling windows; ``SamplingProfiler`` collects collapsed stacks; and
+``render_dashboard`` turns a registry snapshot into the ``repro top`` view.
+
 ``python -m repro report --input run.jsonl`` renders the same report from a
 dump.  Because this package is imported from everywhere, it may only import
 leaf modules (numpy/stdlib-only, e.g. ``repro.viz.tables``) — never
@@ -20,20 +28,40 @@ leaf modules (numpy/stdlib-only, e.g. ``repro.viz.tables``) — never
 """
 
 from repro.obs.callbacks import TelemetryCallback, TrainerCallback
+from repro.obs.context import ActiveSpan
+from repro.obs.dashboard import Dashboard, render_dashboard
 from repro.obs.exporters import (JsonlWriter, dump_jsonl, events_to_prometheus,
                                  load_jsonl, to_prometheus)
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.registry import (Counter, Gauge, Histogram, LogHistogram,
+                                MetricsRegistry)
 from repro.obs.report import render_events, render_report
-from repro.obs.runtime import (Telemetry, count, current, enabled, gauge_set,
-                               install, latency, observe, session, span,
+from repro.obs.runtime import (Telemetry, begin_fanin, begin_request, capture,
+                               count, current, enabled, end_trace_span, event,
+                               gauge_set, install, latency, observe,
+                               observe_many, record_span, request, session,
+                               span, trace_now,
                                uninstall)
+from repro.obs.slo import (Objective, SLOEngine, SLOStatus, availability_slo,
+                           latency_slo, parse_objective)
 from repro.obs.trace import SpanNode, SpanTracer
+from repro.obs.tracestore import (SpanRecord, TraceRecord, TraceStore,
+                                  dump_chrome, to_chrome, validate_chrome)
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Counter", "Gauge", "Histogram", "LogHistogram", "MetricsRegistry",
     "SpanNode", "SpanTracer",
+    "ActiveSpan", "SpanRecord", "TraceRecord", "TraceStore",
+    "to_chrome", "dump_chrome", "validate_chrome",
     "Telemetry", "install", "uninstall", "current", "enabled", "session",
-    "count", "gauge_set", "observe", "span", "latency",
+    "count", "gauge_set", "observe", "observe_many", "span", "latency",
+    "event", "request",
+    "capture", "trace_now", "begin_request", "begin_fanin", "end_trace_span",
+    "record_span",
+    "Objective", "SLOEngine", "SLOStatus", "latency_slo", "availability_slo",
+    "parse_objective",
+    "SamplingProfiler",
+    "Dashboard", "render_dashboard",
     "JsonlWriter", "dump_jsonl", "load_jsonl", "to_prometheus",
     "events_to_prometheus",
     "render_events", "render_report",

@@ -103,12 +103,19 @@ def _prom_name(name: str) -> str:
     return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None,
                  ) -> str:
     merged = {**labels, **(extra or {})}
     if not merged:
         return ""
-    body = ",".join(f'{_prom_name(k)}="{v}"' for k, v in sorted(merged.items()))
+    body = ",".join(f'{_prom_name(k)}="{_prom_escape(v)}"'
+                    for k, v in sorted(merged.items()))
     return "{" + body + "}"
 
 
@@ -123,17 +130,21 @@ def _prom_value(value: float) -> str:
 
 
 def events_to_prometheus(events: Iterable[Mapping]) -> str:
-    """Render snapshot events (counter/gauge/histogram) as Prometheus text.
+    """Render snapshot events as Prometheus exposition text.
 
-    Histograms are rendered as summaries: ``<name>{quantile="0.5"}`` lines
-    plus ``_sum`` and ``_count``.  Span and meta events are skipped — spans
-    have no Prometheus analogue; use the report table for those.
+    Reservoir histograms render as summaries (``quantile`` labels); log-
+    bucket histograms render as true Prometheus *histograms* — cumulative
+    well-formed ``_bucket{le="..."}`` lines ending in ``le="+Inf"`` plus
+    ``_sum`` and ``_count``.  Label values are escaped per the exposition
+    format, and an empty event stream yields the empty string (no stray
+    newline, no garbage).  Span and meta events are skipped — spans have no
+    Prometheus analogue; use the report table for those.
     """
     lines: list[str] = []
     typed: dict[str, str] = {}
     for event in events:
         kind = event.get("type")
-        if kind not in ("counter", "gauge", "histogram"):
+        if kind not in ("counter", "gauge", "histogram", "loghist"):
             continue
         name = _prom_name(event["name"])
         labels = event.get("labels", {})
@@ -148,6 +159,18 @@ def events_to_prometheus(events: Iterable[Mapping]) -> str:
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name}{_prom_labels(labels)} "
                          f"{_prom_value(event['value'])}")
+        elif kind == "loghist":
+            lines.append(f"# TYPE {name} histogram")
+            for le, cum in event.get("buckets", []):
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, {'le': _prom_value(le)})}"
+                    f" {_prom_value(float(cum))}")
+            lines.append(f"{name}_bucket{_prom_labels(labels, {'le': '+Inf'})}"
+                         f" {_prom_value(float(event['count']))}")
+            lines.append(f"{name}_sum{_prom_labels(labels)} "
+                         f"{_prom_value(event['sum'])}")
+            lines.append(f"{name}_count{_prom_labels(labels)} "
+                         f"{_prom_value(float(event['count']))}")
         else:
             lines.append(f"# TYPE {name} summary")
             for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):

@@ -1,0 +1,169 @@
+"""Sampling continuous profiler: collapsed stacks from a background thread.
+
+Samples every Python thread's current frame stack via
+``sys._current_frames()`` at a fixed rate (~100 Hz by default) and
+aggregates identical stacks into counts — the *collapsed stack* format that
+``flamegraph.pl`` / speedscope consume directly (``a;b;c 42`` per line).
+Wall-clock sampling, so blocked time (lock waits, store RPCs) shows up
+proportionally, which is what serving-latency work needs; CPU-only profilers
+hide exactly the waits that dominate tails.
+
+Overhead is one frame walk per thread per tick — at 100 Hz on the workloads
+here that is well under 1% and, unlike tracing instrumentation, completely
+independent of request rate.  The sampler thread skips itself.  For
+deterministic tests :meth:`SamplingProfiler.sample` takes an injectable
+frames mapping, so no real thread or sleep is needed to drive aggregation.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.viz.tables import format_table
+
+__all__ = ["SamplingProfiler"]
+
+
+def _frame_label(frame) -> str:
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}.{frame.f_code.co_name}"
+
+
+def collapse_frame(frame, max_depth: int = 64) -> tuple[str, ...]:
+    """Root-first tuple of ``module.function`` labels for one stack."""
+    labels: list[str] = []
+    while frame is not None and len(labels) < max_depth:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class SamplingProfiler:
+    """Background statistical profiler with collapsed-stack output.
+
+    Use as a context manager around the workload, then read
+    :meth:`collapsed` / :meth:`render_top` / :meth:`write_collapsed`::
+
+        with SamplingProfiler(interval_seconds=0.01) as prof:
+            run_workload()
+        print(prof.render_top())
+    """
+
+    def __init__(self, interval_seconds: float = 0.01, max_depth: int = 64,
+                 ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be positive: {interval_seconds}")
+        self.interval_seconds = interval_seconds
+        self.max_depth = max_depth
+        self._counts: Counter[tuple[str, ...]] = Counter()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples = 0
+        self.started_at: float | None = None
+        self.stopped_at: float | None = None
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(self, frames: dict | None = None) -> int:
+        """Take one sample; returns the number of stacks recorded.
+
+        ``frames`` defaults to ``sys._current_frames()``; tests inject a
+        ``{thread_id: frame}`` mapping to drive aggregation deterministically.
+        """
+        own = threading.get_ident()
+        sampler = self._thread.ident if self._thread is not None else None
+        if frames is None:
+            frames = sys._current_frames()
+        recorded = 0
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id in (own, sampler):
+                    continue
+                self._counts[collapse_frame(frame, self.max_depth)] += 1
+                recorded += 1
+            if recorded:
+                self.samples += 1
+        return recorded
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.sample()
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self.started_at = time.perf_counter()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-profiler")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self.stopped_at = time.perf_counter()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- output ----------------------------------------------------------------
+
+    def collapsed(self) -> dict[str, int]:
+        """``{"root;child;leaf": count}`` — the flamegraph input format."""
+        with self._lock:
+            return {";".join(stack): n for stack, n in self._counts.items()}
+
+    def to_collapsed_text(self) -> str:
+        lines = [f"{stack} {count}" for stack, count
+                 in sorted(self.collapsed().items(),
+                           key=lambda kv: (-kv[1], kv[0]))]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, path: str | Path) -> int:
+        """Write collapsed stacks (flamegraph.pl input); returns line count."""
+        text = self.to_collapsed_text()
+        Path(path).write_text(text, encoding="utf-8")
+        return len(text.splitlines())
+
+    def function_totals(self) -> Counter:
+        """Samples per function, inclusive of time in callees."""
+        totals: Counter[str] = Counter()
+        with self._lock:
+            for stack, n in self._counts.items():
+                for label in set(stack):
+                    totals[label] += n
+        return totals
+
+    def leaf_totals(self) -> Counter:
+        """Samples per function, *self* time only (stack leaves)."""
+        totals: Counter[str] = Counter()
+        with self._lock:
+            for stack, n in self._counts.items():
+                if stack:
+                    totals[stack[-1]] += n
+        return totals
+
+    def render_top(self, n: int = 15) -> str:
+        """Top functions by self samples, with inclusive share alongside."""
+        total = sum(self.leaf_totals().values()) or 1
+        inclusive = self.function_totals()
+        rows = [[label, count, f"{100.0 * count / total:.1f}%",
+                 f"{100.0 * inclusive[label] / total:.1f}%"]
+                for label, count in self.leaf_totals().most_common(n)]
+        table = format_table(["function", "self", "self %", "incl %"], rows,
+                             title=f"Profile — {self.samples} samples")
+        return table

@@ -19,11 +19,12 @@ sample depends only on the insertion sequence).
 
 from __future__ import annotations
 
+import math
 from typing import Iterator, Mapping
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "LogHistogram", "MetricsRegistry"]
 
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -123,6 +124,37 @@ class Histogram:
             if slot < self.reservoir_size:
                 self._reservoir[slot] = value
 
+    def observe_many(self, values) -> None:
+        """Bulk observe: vectorised moments plus vectorised Algorithm R.
+
+        The slot draws come from one batched RNG call instead of one call
+        per value, so a full reservoir costs O(len(values)) cheap Python
+        ops rather than len(values) Generator round-trips.  Still a
+        deterministic function of the observation sequence (same acceptance
+        probability R/count per value, later duplicates win a slot, exactly
+        as the sequential loop resolves them)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        start = self.count
+        self.count += int(values.size)
+        self.sum += float(values.sum())
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+        free = self.reservoir_size - len(self._reservoir)
+        if free > 0:
+            self._reservoir.extend(values[:free].tolist())
+            values = values[free:]
+            start += free
+        if values.size == 0:
+            return
+        counts = np.arange(start + 1, start + values.size + 1)
+        slots = self._rng.integers(0, counts)
+        reservoir, size = self._reservoir, self.reservoir_size
+        for slot, value in zip(slots.tolist(), values.tolist()):
+            if slot < size:
+                reservoir[slot] = value
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
@@ -155,6 +187,154 @@ class Histogram:
                 f"count={self.count})")
 
 
+class LogHistogram:
+    """Log-bucketed (HDR-style) histogram: O(1) observe, mergeable, and
+    accurate high percentiles at millions of observations.
+
+    Positive values land in geometric buckets ``[growth**i, growth**(i+1))``
+    keyed by integer ``i`` (a dict, so only occupied buckets cost memory);
+    zero/negative values get their own underflow bucket.  A reported
+    percentile is the *upper bound* of the bucket containing that rank,
+    clamped to the exact observed ``max`` — so it can overshoot the true
+    quantile by at most one bucket's relative width (``growth - 1``, 10%
+    at the default) and never undershoots by more than that.  Unlike the
+    reservoir :class:`Histogram` there is no sampling error: every
+    observation is counted, which is what makes p99/p999 trustworthy at
+    millions of observations.  Two histograms with the same ``growth``
+    merge by adding bucket counts (shard-per-thread, merge on snapshot).
+    """
+
+    kind = "loghist"
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 growth: float = 1.1) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1: {growth}")
+        self.name = name
+        self.labels = labels
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: dict[int, int] = {}
+        self.zeros = 0          # observations <= 0 (their own bucket)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def _index(self, value: float) -> int:
+        return math.floor(math.log(value) / self._log_growth)
+
+    def bucket_upper(self, index: int) -> float:
+        """Exclusive upper bound of bucket ``index``."""
+        return self.growth ** (index + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = self._index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def observe_many(self, values) -> None:
+        """Vectorised bulk observe (bit-identical totals to looping)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        self.count += int(values.size)
+        self.sum += float(values.sum())
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+        positive = values[values > 0.0]
+        self.zeros += int(values.size - positive.size)
+        if positive.size:
+            indices = np.floor(np.log(positive)
+                               / self._log_growth).astype(np.int64)
+            uniq, counts = np.unique(indices, return_counts=True)
+            for index, n in zip(uniq.tolist(), counts.tolist()):
+                self._buckets[index] = self._buckets.get(index, 0) + n
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other``'s observations into this histogram (same growth)."""
+        if other.growth != self.growth:
+            raise ValueError(f"cannot merge loghist growth={other.growth} "
+                             f"into growth={self.growth}")
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self.zeros += other.zeros
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def percentile(self, q: float | list[float]) -> float | np.ndarray:
+        """Bucket-resolution percentile(s); ``nan`` before any observation."""
+        qs = np.atleast_1d(np.asarray(q, dtype=np.float64))
+        if not self.count:
+            out = np.full(qs.size, float("nan"))
+            return float(out[0]) if np.ndim(q) == 0 else out
+        ranks = np.ceil(qs / 100.0 * self.count).clip(1, self.count)
+        indices = sorted(self._buckets)
+        out = np.empty(qs.size)
+        for pos, rank in enumerate(ranks):
+            if rank <= self.zeros:
+                out[pos] = min(0.0, self.max)
+                continue
+            remaining = rank - self.zeros
+            value = self.max
+            for index in indices:
+                remaining -= self._buckets[index]
+                if remaining <= 0:
+                    value = min(self.bucket_upper(index), self.max)
+                    break
+            out[pos] = max(value, self.min)
+        return float(out[0]) if np.ndim(q) == 0 else out
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs over occupied buckets.
+
+        The underflow bucket surfaces as ``(0.0, zeros)``; this is exactly
+        the shape a Prometheus ``_bucket`` series wants (``le`` + cumulative
+        count, with the implicit ``+Inf`` bucket equal to ``count``).
+        """
+        out: list[tuple[float, int]] = []
+        running = 0
+        if self.zeros:
+            running = self.zeros
+            out.append((0.0, running))
+        for index in sorted(self._buckets):
+            running += self._buckets[index]
+            out.append((self.bucket_upper(index), running))
+        return out
+
+    def snapshot(self) -> dict:
+        p50, p95, p99, p999 = (self.percentile([50, 95, 99, 99.9])
+                               if self.count else (float("nan"),) * 4)
+        return {"type": self.kind, "name": self.name,
+                "labels": dict(self.labels), "count": self.count,
+                "sum": self.sum, "mean": self.mean,
+                "min": self.min if self.count else float("nan"),
+                "max": self.max if self.count else float("nan"),
+                "p50": float(p50), "p95": float(p95), "p99": float(p99),
+                "p999": float(p999), "growth": self.growth,
+                "buckets": [[le, n] for le, n in self.buckets()]}
+
+    def __repr__(self) -> str:
+        return (f"LogHistogram({self.name!r}, labels={dict(self.labels)}, "
+                f"count={self.count}, buckets={len(self._buckets)})")
+
+
 class MetricsRegistry:
     """Instrument store keyed by ``(name, sorted labels)``.
 
@@ -166,6 +346,7 @@ class MetricsRegistry:
     def __init__(self, reservoir_size: int = 2048) -> None:
         self.reservoir_size = reservoir_size
         self._instruments: dict[tuple[str, LabelKey], object] = {}
+        self._fast: dict[tuple, object] = {}
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -187,6 +368,25 @@ class MetricsRegistry:
                             f"{inst.kind}, not a {cls.kind}")
         return inst
 
+    def _fast_get(self, cls, name: str, labels: Mapping[str, object],
+                  **kwargs):
+        """Memoized :meth:`_get_or_create` for the instrumented hot path.
+
+        Keyed by the raw ``labels.items()`` tuple — unsorted, values left
+        unconverted — so repeat calls from the same call site cost one dict
+        probe instead of a ``_label_key`` sort.  Distinct insertion orders
+        for the same labels just create extra aliases to one instrument.
+        """
+        key = (cls.kind, name, tuple(labels.items()))
+        try:
+            inst = self._fast.get(key)
+        except TypeError:  # unhashable label value: skip the memo
+            return self._get_or_create(cls, name, labels, **kwargs)
+        if inst is None:
+            inst = self._get_or_create(cls, name, labels, **kwargs)
+            self._fast[key] = inst
+        return inst
+
     def counter(self, name: str, labels: Mapping[str, object] | None = None,
                 ) -> Counter:
         return self._get_or_create(Counter, name, labels)
@@ -201,6 +401,11 @@ class MetricsRegistry:
             Histogram, name, labels,
             reservoir_size=reservoir_size or self.reservoir_size)
 
+    def log_histogram(self, name: str,
+                      labels: Mapping[str, object] | None = None,
+                      growth: float = 1.1) -> LogHistogram:
+        return self._get_or_create(LogHistogram, name, labels, growth=growth)
+
     def get(self, name: str, labels: Mapping[str, object] | None = None):
         """Fetch an existing instrument or ``None`` (never creates)."""
         return self._instruments.get((name, _label_key(labels)))
@@ -211,3 +416,4 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._instruments.clear()
+        self._fast.clear()

@@ -60,9 +60,11 @@ def _gauge_table(gauges: list[dict]) -> str:
 
 
 def _histogram_table(hists: list[dict]) -> str:
+    """One table for both sketch kinds (reservoir + log-bucket)."""
     rows = []
     for h in hists:
-        rows.append([h["name"], _fmt_labels(h.get("labels", {})), h["count"],
+        name = h["name"] + (" (log)" if h.get("type") == "loghist" else "")
+        rows.append([name, _fmt_labels(h.get("labels", {})), h["count"],
                      _as_float(h["mean"]), _as_float(h["p50"]),
                      _as_float(h["p95"]), _as_float(h["p99"]),
                      _as_float(h["max"])])
@@ -88,8 +90,9 @@ def render_events(events: Iterable[Mapping]) -> str:
         sections.append(_counter_table(by_type["counter"]))
     if by_type.get("gauge"):
         sections.append(_gauge_table(by_type["gauge"]))
-    if by_type.get("histogram"):
-        sections.append(_histogram_table(by_type["histogram"]))
+    hists = by_type.get("histogram", []) + by_type.get("loghist", [])
+    if hists:
+        sections.append(_histogram_table(hists))
     if not sections:
         return "no telemetry events"
     return "\n\n".join(sections)

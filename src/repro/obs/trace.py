@@ -11,10 +11,20 @@ Timing uses ``time.perf_counter`` by default; the tree *structure* and visit
 counts are deterministic for a fixed workload even though durations vary run
 to run.  Tests inject ``SpanTracer(clock=...)`` (e.g. a
 :class:`repro.utils.ManualClock`) to make durations deterministic too.
+
+The stack of *open* spans is per-thread (``threading.local``): spans opened
+from a daemon thread (``PrefetchLoader`` batch prep, a ``MicroBatcher``
+flush) nest under that thread's own spans, never under whatever the main
+thread happens to have open.  The aggregated tree is shared — all threads
+fold their timings into the same nodes (child creation is atomic via
+``dict.setdefault``; concurrent ``count``/``total`` updates on the *same*
+node may lose an increment under free-threading, an accepted tolerance for
+an aggregate profile).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -35,8 +45,9 @@ class SpanNode:
     def child(self, name: str) -> "SpanNode":
         node = self.children.get(name)
         if node is None:
-            node = SpanNode(name)
-            self.children[name] = node
+            # setdefault is atomic in CPython: two threads racing to create
+            # the same child both end up holding the one that won.
+            node = self.children.setdefault(name, SpanNode(name))
         return node
 
     @property
@@ -70,7 +81,7 @@ class _Span:
         self._node = node
 
     def __enter__(self) -> "_Span":
-        self._tracer._stack.append(self._node)
+        self._tracer._thread_stack().append(self._node)
         self._start = self._tracer._clock()
         return self
 
@@ -79,7 +90,7 @@ class _Span:
         node = self._node
         node.count += 1
         node.total += elapsed
-        stack = self._tracer._stack
+        stack = self._tracer._thread_stack()
         if stack and stack[-1] is node:
             stack.pop()
         else:  # unbalanced exit (generator abandoned mid-span): resync
@@ -90,21 +101,36 @@ class _Span:
 
 
 class SpanTracer:
-    """Aggregating tracer: a stack of open spans over a tree of totals."""
+    """Aggregating tracer: per-thread stacks of open spans over one shared
+    tree of totals.  Each thread's spans nest under that thread's own open
+    spans (threads start at the root), so concurrent instrumentation from
+    daemon threads cannot mis-nest under the main thread's stages."""
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self.root = SpanNode("root")
-        self._stack: list[SpanNode] = [self.root]
+        self._local = threading.local()
+
+    def _thread_stack(self) -> list[SpanNode]:
+        """This thread's open-span stack, rooted at the *current* root.
+
+        Comparing the cached root identity handles :meth:`reset`: a thread
+        whose local stack predates the reset starts fresh from the new root.
+        """
+        local = self._local
+        if getattr(local, "root", None) is not self.root:
+            local.root = self.root
+            local.stack = [self.root]
+        return local.stack
 
     def span(self, name: str) -> _Span:
         """Open a (nested) span; use as ``with tracer.span("forward"):``."""
-        return _Span(self, self._stack[-1].child(name))
+        return _Span(self, self._thread_stack()[-1].child(name))
 
     @property
     def depth(self) -> int:
-        """Number of currently-open spans (0 at top level)."""
-        return len(self._stack) - 1
+        """Number of spans the calling thread currently has open."""
+        return len(self._thread_stack()) - 1
 
     def flatten(self) -> list[dict]:
         """Every aggregated span as a flat dict list (root excluded)."""
@@ -127,10 +153,10 @@ class SpanTracer:
         return node.total
 
     def reset(self) -> None:
-        if len(self._stack) > 1:
+        if len(self._thread_stack()) > 1:
             raise RuntimeError("cannot reset tracer while spans are open")
         self.root = SpanNode("root")
-        self._stack = [self.root]
+        self._local = threading.local()
 
     def render(self, float_fmt: str = "{:>9.4f}") -> str:
         """Indented plain-text view of the aggregated time tree."""

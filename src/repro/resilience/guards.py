@@ -94,11 +94,14 @@ class RetryPolicy:
                 backoff = min(backoff * self.multiplier,
                               self.max_backoff_seconds)
                 obs.count("retry.attempts", op=name)
+                obs.event("retry.attempt", op=name, attempt=attempt + 1)
             try:
                 return fn()
             except self.retry_on as exc:
                 last_error = exc
                 obs.count("retry.failures", op=name)
+                obs.event("retry.failure", op=name, attempt=attempt + 1,
+                          error=type(exc).__name__)
         assert last_error is not None
         raise last_error
 
@@ -138,6 +141,7 @@ class CircuitBreaker:
             return
         self.state = state
         obs.count("breaker.transitions", breaker=self.name, to=state)
+        obs.event("breaker.transition", breaker=self.name, to=state)
         obs.gauge_set("breaker.state", {self.CLOSED: 0.0, self.HALF_OPEN: 1.0,
                                         self.OPEN: 2.0}[state],
                       breaker=self.name)

@@ -5,8 +5,14 @@ want to write; the batched proxy/store/ANN paths are what the hardware wants
 to run.  :class:`MicroBatcher` bridges the two — single-key requests are
 queued and flushed as one batch when the batch fills up or a deadline
 expires, so scalar callers transparently ride the vectorised path.
+
+:class:`ServingWorkload` assembles the whole stack (store → resilient proxy
+→ batcher) with concurrent client threads at example scale — the workload
+behind the observability CLI (``repro trace/slo/profile/top``).
 """
 
 from repro.serve.batcher import MicroBatcher, PendingResult
+from repro.serve.demo import ServingWorkload, WorkloadResult
 
-__all__ = ["MicroBatcher", "PendingResult"]
+__all__ = ["MicroBatcher", "PendingResult", "ServingWorkload",
+           "WorkloadResult"]

@@ -29,13 +29,17 @@ __all__ = ["MicroBatcher", "PendingResult"]
 class PendingResult:
     """Handle for one submitted key; resolves when its batch is flushed."""
 
-    __slots__ = ("key", "_event", "_value", "_error")
+    __slots__ = ("key", "_event", "_value", "_error", "_span", "_submitted")
 
     def __init__(self, key: Hashable) -> None:
         self.key = key
         self._event = threading.Event()
         self._value = None
         self._error: BaseException | None = None
+        # request-scoped tracing: the request's root trace span (owned by the
+        # batcher: opened at submit, closed at resolve/fail) and submit time.
+        self._span = None
+        self._submitted = 0.0
 
     @property
     def done(self) -> bool:
@@ -111,8 +115,17 @@ class MicroBatcher:
             return self._deadline
 
     def submit(self, key: Hashable) -> PendingResult:
-        """Queue one key; returns a handle that resolves at flush time."""
+        """Queue one key; returns a handle that resolves at flush time.
+
+        Each submit opens its own request trace (when a telemetry session is
+        installed): the batcher owns the request root from here until the
+        handle resolves or fails, so the queue wait, the shared flush, and
+        every proxy/store/LSH sub-span land inside it before the trace is
+        finalized for tail-based retention.
+        """
         pending = PendingResult(key)
+        pending._span = obs.begin_request("serve.request", key=str(key))
+        pending._submitted = obs.trace_now()
         reason = None
         with self._lock:
             self._queue.append(pending)
@@ -163,19 +176,37 @@ class MicroBatcher:
         self.flush_reasons[reason] += 1
         obs.count("serve.flushes", trigger=reason)
         obs.observe("serve.batch_size", len(batch))
+        # Retroactive queue-wait spans (one per request), then one fan-in
+        # flush span shared by every request trace in the batch; activating
+        # it makes the flush_fn's own spans/events children of the flush.
+        now = obs.trace_now()
+        for pending in batch:
+            obs.record_span("batcher.wait", pending._span,
+                            pending._submitted, now)
+        flush_span = obs.begin_fanin(
+            "batcher.flush", [p._span for p in batch if p._span is not None],
+            trigger=reason, batch_size=len(batch))
+        token = obs.activate_span(flush_span)
         keys = [pending.key for pending in batch]
         try:
             values = self._flush_fn(keys)
         except BaseException as exc:
+            obs.deactivate_span(token)
+            obs.end_trace_span(flush_span, error=exc)
             for pending in batch:
                 pending._fail(exc)
+                obs.end_trace_span(pending._span, error=exc)
             return len(batch)
+        obs.deactivate_span(token)
+        obs.end_trace_span(flush_span)
         if len(values) != len(batch):
             exc = ValueError(
                 f"flush_fn returned {len(values)} values for {len(batch)} keys")
             for pending in batch:
                 pending._fail(exc)
+                obs.end_trace_span(pending._span, error=exc)
             return len(batch)
         for pending, value in zip(batch, values):
             pending._resolve(value)
+            obs.end_trace_span(pending._span)
         return len(batch)

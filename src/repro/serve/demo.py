@@ -1,0 +1,156 @@
+"""Self-contained serving workload for the observability CLI commands.
+
+``python -m repro trace/slo/profile/top`` all need the same thing: a live
+serving stack — columnar store (optionally flaky), resilient
+:class:`~repro.lookalike.serving.ServingProxy`, and a
+:class:`~repro.serve.batcher.MicroBatcher` — plus concurrent client threads
+driving keyed lookups through it.  :class:`ServingWorkload` packages that at
+example scale with seeded determinism: same seed, same key sequence, same
+cache-hit pattern, same injected-failure schedule.
+
+This lives in ``repro.serve`` (not ``repro.obs``) on purpose: the obs
+package may only import leaf modules, while a demo workload needs the whole
+serving stack.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lookalike.serving import ServingProxy, ServingResilience
+from repro.lookalike.store import EmbeddingStore
+from repro.resilience.faults import FlakyEmbeddingStore
+from repro.resilience.guards import CircuitBreaker, RetryPolicy
+from repro.serve.batcher import MicroBatcher
+
+__all__ = ["ServingWorkload", "WorkloadResult"]
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one :meth:`ServingWorkload.run`."""
+
+    requests: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return (self.requests / self.elapsed_seconds
+                if self.elapsed_seconds > 0 else 0.0)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(np.array(self.latencies), q))
+
+
+class ServingWorkload:
+    """A deterministic serving stack plus a concurrent request driver.
+
+    Parameters
+    ----------
+    n_users:
+        Keys pre-loaded into the store; requests draw mostly from this range
+        (warm traffic) with a tail of unknown keys exercising the
+        inference/default fallbacks.
+    failure_rate:
+        Probability that any one store read raises
+        :class:`~repro.resilience.faults.StoreUnavailableError` — the knob
+        that turns on retries, breaker trips, stale serves, and error traces.
+    """
+
+    def __init__(self, n_users: int = 256, dim: int = 16, seed: int = 0,
+                 failure_rate: float = 0.0, max_batch: int = 16,
+                 max_delay_seconds: float = 0.001,
+                 cache_capacity: int = 128) -> None:
+        self.n_users = n_users
+        self.dim = dim
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        store = EmbeddingStore(dim)
+        store.put_many(list(range(n_users)),
+                       rng.normal(size=(n_users, dim)))
+        self.store = store
+        self.flaky = FlakyEmbeddingStore(store, failure_rate=failure_rate,
+                                         rng=seed)
+        resilience = ServingResilience(
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=1e-4,
+                              max_backoff_seconds=1e-3),
+            breaker=CircuitBreaker(failure_threshold=8, reset_seconds=0.05,
+                                   name="serving-store"))
+        self.proxy = ServingProxy(self.flaky, cache_capacity=cache_capacity,
+                                  infer_fn=self._infer,
+                                  resilience=resilience)
+        self.batcher = MicroBatcher(self.proxy.get_embeddings_batch,
+                                    max_batch=max_batch,
+                                    max_delay_seconds=max_delay_seconds)
+
+    def _infer(self, key) -> np.ndarray | None:
+        """Fallback "model": resolves two thirds of unknown users."""
+        try:
+            key = int(key)
+        except (TypeError, ValueError):
+            return None
+        if key % 3 == 0:
+            return None  # genuinely unresolvable → default embedding
+        return np.full(self.dim, (key % 97) / 97.0)
+
+    def keys(self, n: int, unknown_fraction: float = 0.05) -> list[int]:
+        """Seeded key sequence: warm zipf-ish traffic + an unknown tail."""
+        rng = np.random.default_rng(self.seed + 1)
+        # squaring a uniform skews toward low keys: a hot-key distribution
+        warm = (rng.random(n) ** 2 * self.n_users).astype(np.int64)
+        unknown = rng.random(n) < unknown_fraction
+        warm[unknown] = self.n_users + rng.integers(0, max(self.n_users // 4,
+                                                           1), unknown.sum())
+        return [int(k) for k in warm]
+
+    def run(self, requests: int = 512, threads: int = 4,
+            slo_engine=None) -> WorkloadResult:
+        """Drive ``requests`` blocking lookups from ``threads`` clients.
+
+        Each request is one ``batcher.get`` (submit + coalesced flush), timed
+        end to end; with ``slo_engine`` attached every outcome is recorded as
+        an SLO sample.
+        """
+        keys = self.keys(requests)
+        result = WorkloadResult()
+        lock = threading.Lock()
+        cursor = iter(range(requests))
+
+        def client() -> None:
+            while True:
+                with lock:
+                    i = next(cursor, None)
+                if i is None:
+                    return
+                start = time.perf_counter()
+                ok = True
+                try:
+                    self.batcher.get(keys[i])
+                except Exception:
+                    ok = False
+                latency = time.perf_counter() - start
+                with lock:
+                    result.requests += 1
+                    result.errors += not ok
+                    result.latencies.append(latency)
+                if slo_engine is not None:
+                    slo_engine.record(latency, ok=ok)
+
+        started = time.perf_counter()
+        workers = [threading.Thread(target=client, name=f"client-{t}")
+                   for t in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        self.batcher.flush()  # nothing should be queued; belt and braces
+        result.elapsed_seconds = time.perf_counter() - started
+        return result

@@ -86,3 +86,102 @@ class TestBenchmark:
                              "--users", "300", "--epochs", "1")
         assert code == 0
         assert "Speedup" in text
+
+
+class TestObservabilityCommands:
+    def test_trace_summary(self):
+        code, text = run_cli("trace", "--requests", "60", "--threads", "2",
+                             "--seed", "3")
+        assert code == 0
+        assert "traces finished" in text
+        assert "[slowest]" in text
+        assert "serve.request" in text
+
+    def test_trace_chrome_export_is_schema_valid(self, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome
+
+        out_path = tmp_path / "trace.json"
+        code, text = run_cli("trace", "--requests", "60", "--threads", "2",
+                             "--export", "chrome", "--out", str(out_path))
+        assert code == 0 and "written to" in text
+        doc = json.loads(out_path.read_text())
+        assert validate_chrome(doc) == []
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_chrome_requires_out(self, capsys):
+        code, __ = run_cli("trace", "--export", "chrome")
+        assert code == 2
+        assert "requires --out" in capsys.readouterr().err
+
+    def test_slo_live_passes_with_loose_objectives(self):
+        code, text = run_cli("slo", "--requests", "60", "--threads", "2",
+                             "--objective", "availability >= 50%",
+                             "--objective", "p99 latency <= 10s")
+        assert code == 0
+        assert "SLO verdicts" in text and "PASS" in text
+
+    def test_slo_timeline_fail_exits_one(self, tmp_path):
+        import json
+
+        path = tmp_path / "timeline.jsonl"
+        rows = [{"ts": float(i), "latency_ms": 500.0, "ok": i % 2 == 0}
+                for i in range(20)]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        code, text = run_cli("slo", "--timeline", str(path),
+                             "--objective", "availability >= 99.9%")
+        assert code == 1
+        assert "FAIL" in text
+
+    def test_slo_bad_objective_exits_two(self, capsys):
+        code, __ = run_cli("slo", "--objective", "latency under 3 parsecs")
+        assert code == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_slo_missing_timeline_exits_two(self, tmp_path, capsys):
+        code, __ = run_cli("slo", "--timeline", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "no such timeline" in capsys.readouterr().err
+
+    def test_profile_writes_collapsed_stacks(self, tmp_path):
+        out_path = tmp_path / "prof.collapsed"
+        code, text = run_cli("profile", "--requests", "300", "--threads", "2",
+                             "--interval-ms", "1", "--out", str(out_path))
+        assert code == 0
+        assert "samples over" in text and "self %" in text
+        for line in out_path.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) > 0
+
+    def test_top_renders_frames(self):
+        code, text = run_cli("top", "--requests", "300", "--threads", "2",
+                             "--frames", "2", "--interval", "0.05")
+        assert code == 0
+        assert "--- frame 1/2 ---" in text
+        assert "serving" in text
+        assert "SLO verdicts" in text
+
+
+class TestReportFailureModes:
+    def test_missing_input_fails_gracefully(self, tmp_path, capsys):
+        code, __ = run_cli("report", "--input", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no such telemetry dump" in err
+        assert len(err.strip().splitlines()) == 1   # one line, no traceback
+
+    def test_empty_input_fails_gracefully(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        code, __ = run_cli("report", "--input", str(path))
+        assert code == 2
+        assert "contains no telemetry events" in capsys.readouterr().err
+
+    def test_truncated_jsonl_fails_gracefully(self, tmp_path, capsys):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"type": "counter", "name": "x", "labels": {}, '
+                        '"value": 1.0}\n{"type": "coun')
+        code, __ = run_cli("report", "--input", str(path))
+        assert code == 2
+        assert "not valid JSONL" in capsys.readouterr().err

@@ -103,6 +103,49 @@ class TestPrometheus:
     def test_empty(self):
         assert events_to_prometheus([]) == ""
 
+    def test_label_values_are_escaped(self):
+        events = [{"type": "counter", "name": "m", "value": 1.0,
+                   "labels": {"path": 'C:\\tmp\n"x"'}}]
+        text = events_to_prometheus(events)
+        assert 'path="C:\\\\tmp\\n\\"x\\""' in text
+        assert "\n\"x\"" not in text  # no raw newline inside a label value
+
+    def test_loghist_renders_wellformed_buckets(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with obs.latency("op_seconds", op="get"):
+                pass
+            hist = telemetry.registry.log_histogram("op_seconds",
+                                                    {"op": "get"})
+            hist.observe_many([0.001, 0.002, 0.002, 0.010])
+        text = to_prometheus(telemetry.registry)
+        assert "# TYPE op_seconds histogram" in text
+        bucket_lines = [line for line in text.splitlines()
+                        if line.startswith("op_seconds_bucket")]
+        assert bucket_lines[-1].startswith('op_seconds_bucket{le="+Inf",'
+                                           'op="get"}')
+        # cumulative counts: non-decreasing, +Inf equals _count
+        counts = [float(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert f"op_seconds_count{{op=\"get\"}} {counts[-1]}" in text
+        assert 'op_seconds_sum{op="get"}' in text
+        # les parse as floats and ascend (the +Inf line aside)
+        les = []
+        for line in bucket_lines[:-1]:
+            les.append(float(line.split('le="', 1)[1].split('"', 1)[0]))
+        assert les == sorted(les)
+
+    def test_loghist_round_trips_through_jsonl(self, tmp_path):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with obs.latency("lat_seconds"):
+                pass
+        path = tmp_path / "run.jsonl"
+        dump_jsonl(telemetry, path)
+        assert events_to_prometheus(load_jsonl(path)) == \
+            to_prometheus(telemetry.registry)
+        assert "lat_seconds (log)" in render_events(load_jsonl(path))
+
 
 class TestReportRendering:
     def test_render_report_sections(self):

@@ -8,6 +8,8 @@ cache counters reconcile exactly with :class:`LRUCache`'s own accounting.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -131,16 +133,22 @@ class TestServingInstrumentation:
     def test_latency_percentiles_match_numpy(self):
         proxy = self._proxy()
         rng = np.random.default_rng(1)
+        latencies = []
         with obs.session() as telemetry:
             for uid in rng.integers(0, 50, size=400):
+                start = time.perf_counter()
                 proxy.get_embedding(int(uid))
+                latencies.append(time.perf_counter() - start)
         hist = telemetry.registry.get("serving.lookup_seconds")
         assert hist.count == 400
-        samples = hist.samples()
-        assert samples.size == 400  # under reservoir capacity → exact
+        # latency metrics land in a log-bucket histogram: percentiles match
+        # the exact (outer-timed) distribution within one bucket's relative
+        # error, where the outer timing envelope bounds the inner one
+        exact = np.array(latencies)
         for q in (50, 95, 99):
-            np.testing.assert_allclose(hist.percentile(q),
-                                       np.percentile(samples, q))
+            approx = hist.percentile(q)
+            assert approx > 0
+            assert approx <= np.percentile(exact, q) * hist.growth * 1.05
         assert hist.percentile(50) > 0
 
     def test_cache_counters_reconcile_with_hit_rate(self):

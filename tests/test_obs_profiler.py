@@ -1,0 +1,121 @@
+"""Sampling profiler: deterministic aggregation via injected frames."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler
+from repro.obs.profiler import collapse_frame
+
+
+class FakeCode:
+    def __init__(self, name: str) -> None:
+        self.co_name = name
+
+
+class FakeFrame:
+    """Just enough of a frame for ``collapse_frame``."""
+
+    def __init__(self, module: str, func: str,
+                 back: "FakeFrame | None" = None) -> None:
+        self.f_globals = {"__name__": module}
+        self.f_code = FakeCode(func)
+        self.f_back = back
+
+
+def stack(*labels: str) -> FakeFrame:
+    """Build a frame chain from root-first ``module.func`` labels."""
+    frame = None
+    for label in labels:
+        module, func = label.rsplit(".", 1)
+        frame = FakeFrame(module, func, back=frame)
+    return frame  # leaf frame (collapse walks back to the root)
+
+
+class TestCollapse:
+    def test_collapse_is_root_first(self):
+        leaf = stack("app.main", "app.handle", "store.get")
+        assert collapse_frame(leaf) == ("app.main", "app.handle", "store.get")
+
+    def test_max_depth_truncates(self):
+        leaf = stack(*[f"m.f{i}" for i in range(10)])
+        assert len(collapse_frame(leaf, max_depth=3)) == 3
+
+
+class TestAggregation:
+    def _profiler_with_samples(self) -> SamplingProfiler:
+        prof = SamplingProfiler()
+        hot = stack("app.main", "store.get")
+        cold = stack("app.main", "cache.probe")
+        for __ in range(3):
+            prof.sample(frames={101: hot})
+        prof.sample(frames={101: cold, 102: hot})
+        return prof
+
+    def test_collapsed_counts(self):
+        prof = self._profiler_with_samples()
+        assert prof.collapsed() == {"app.main;store.get": 4,
+                                    "app.main;cache.probe": 1}
+        assert prof.samples == 4
+
+    def test_totals_inclusive_vs_self(self):
+        prof = self._profiler_with_samples()
+        assert prof.function_totals()["app.main"] == 5   # on every stack
+        assert prof.leaf_totals()["store.get"] == 4      # self time only
+        assert "app.main" not in prof.leaf_totals()
+
+    def test_collapsed_text_format(self):
+        text = self._profiler_with_samples().to_collapsed_text()
+        lines = text.splitlines()
+        assert lines[0] == "app.main;store.get 4"  # sorted by count desc
+        assert lines[1] == "app.main;cache.probe 1"
+
+    def test_write_collapsed(self, tmp_path):
+        path = tmp_path / "prof.collapsed"
+        n = self._profiler_with_samples().write_collapsed(path)
+        assert n == 2
+        assert path.read_text().endswith("cache.probe 1\n")
+
+    def test_render_top_table(self):
+        out = self._profiler_with_samples().render_top()
+        assert "store.get" in out and "self %" in out
+
+    def test_own_thread_excluded(self):
+        prof = SamplingProfiler()
+        recorded = prof.sample(frames={threading.get_ident():
+                                       stack("me.sampling")})
+        assert recorded == 0
+        assert prof.collapsed() == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            SamplingProfiler(interval_seconds=0.0)
+
+
+class TestLiveSampling:
+    def test_background_thread_samples_real_work(self):
+        def spin(stop: threading.Event) -> None:
+            while not stop.is_set():
+                sum(range(200))
+
+        stop = threading.Event()
+        worker = threading.Thread(target=spin, args=(stop,), name="spinner")
+        worker.start()
+        try:
+            with SamplingProfiler(interval_seconds=0.002) as prof:
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            worker.join()
+        assert prof.samples > 0
+        assert any("spin" in label for label in prof.function_totals())
+
+    def test_start_twice_rejected(self):
+        prof = SamplingProfiler()
+        with prof:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        prof.stop()  # idempotent after context exit

@@ -97,6 +97,60 @@ class TestSpanTracer:
         tracer.reset()
         assert tracer.flatten() == []
 
+    def test_concurrent_spans_from_two_threads_stay_separate(self):
+        """Regression: span stacks are per-thread, so two threads opening
+        spans concurrently must not nest under each other."""
+        import threading
+
+        tracer = SpanTracer()
+        inside = threading.Barrier(2)
+
+        def worker(name: str) -> None:
+            with tracer.span(name):
+                inside.wait()  # both spans provably open at the same time
+                with tracer.span("inner"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # each thread's spans hang off the shared root — never off the
+        # other thread's open span
+        assert set(tracer.root.children) == {"t0", "t1"}
+        for name in ("t0", "t1"):
+            node = tracer.root.children[name]
+            assert node.count == 1
+            assert set(node.children) == {"inner"}
+            assert node.children["inner"].count == 1
+
+    def test_many_threads_aggregate_counts_consistently(self):
+        import threading
+
+        tracer = SpanTracer()
+
+        def worker() -> None:
+            for __ in range(50):
+                with tracer.span("op"):
+                    with tracer.span("sub"):
+                        pass
+
+        threads = [threading.Thread(target=worker) for __ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # structure is exact; totals tolerate the documented rare lost
+        # increment under concurrent += on one shared node
+        assert set(tracer.root.children) == {"op"}
+        assert set(tracer.root.children["op"].children) == {"sub"}
+        assert 190 <= tracer.root.children["op"].count <= 200
+        assert 190 <= tracer.root.children["op"].children["sub"].count <= 200
+        assert tracer.depth == 0
+
 
 class TestRuntime:
     def test_helpers_noop_without_session(self):

@@ -324,3 +324,77 @@ class TestMicroBatcher:
         for key, handle in zip(("a", "b", "c"), handles):
             np.testing.assert_array_equal(handle.result(), store.get(key))
         assert proxy.source_counts["store"] == 3
+
+
+class TestMicroBatcherTracing:
+    """Batcher telemetry: flush_reasons counters and per-request traces."""
+
+    def test_flush_reason_counters_reach_telemetry(self):
+        from repro.obs import runtime as obs
+
+        clock = FakeClock()
+        with obs.session() as telemetry:
+            batcher = MicroBatcher(lambda keys: keys, max_batch=2,
+                                   max_delay_seconds=1.0, clock=clock)
+            batcher.submit("a"), batcher.submit("b")      # size trigger
+            batcher.submit("c")
+            clock.advance(1.0)
+            batcher.poll()                                # deadline trigger
+            batcher.submit("d")
+            batcher.flush()                               # manual trigger
+            batcher.get("e")                              # sync trigger
+        assert batcher.flush_reasons == {"size": 1, "deadline": 1,
+                                         "manual": 1, "sync": 1}
+        for trigger in ("size", "deadline", "manual", "sync"):
+            counter = telemetry.registry.get("serve.flushes",
+                                             {"trigger": trigger})
+            assert counter.value == 1
+        batch_hist = telemetry.registry.get("serve.batch_size")
+        assert batch_hist.count == 4
+
+    def test_trace_ids_distinct_per_submit_shared_per_flush(self):
+        from repro.obs import runtime as obs
+
+        with obs.session() as telemetry:
+            batcher = MicroBatcher(lambda keys: keys, max_batch=3,
+                                   clock=FakeClock())
+            for key in ("a", "b", "c"):
+                batcher.submit(key)
+        traces = telemetry.traces.traces()
+        assert len(traces) == 3
+        assert len({t.trace_id for t in traces}) == 3     # distinct per submit
+        flush_ids = {t.span_named("batcher.flush").span_id for t in traces}
+        assert len(flush_ids) == 1                        # shared per flush
+        for trace in traces:
+            root = trace.span_named("serve.request")
+            wait = trace.span_named("batcher.wait")
+            flush = trace.span_named("batcher.flush")
+            assert wait.parent_in(trace.trace_id) == root.span_id
+            assert flush.parent_in(trace.trace_id) == root.span_id
+            assert not trace.has_error
+
+    def test_flush_error_propagates_and_marks_every_trace(self):
+        from repro.obs import runtime as obs
+
+        def flush_fn(keys):
+            raise ConnectionError("backend down")
+
+        with obs.session() as telemetry:
+            batcher = MicroBatcher(flush_fn, max_batch=2, clock=FakeClock())
+            a, b = batcher.submit("a"), batcher.submit("b")
+            for handle in (a, b):                         # per-handle errors
+                with pytest.raises(ConnectionError, match="backend down"):
+                    handle.result()
+        errors = telemetry.traces.error_traces()
+        assert len(errors) == 2
+        for trace in errors:
+            assert trace.has_error
+            assert trace.span_named("serve.request").error is not None
+            assert trace.span_named("batcher.flush").error is not None
+        assert telemetry.traces.open_traces == 0
+
+    def test_no_trace_records_without_session(self):
+        batcher = MicroBatcher(lambda keys: keys, max_batch=1,
+                               clock=FakeClock())
+        assert batcher.submit("a").result() == "a"        # plain no-op path
+        assert batcher.flush_reasons == {"size": 1}
