@@ -20,6 +20,12 @@ Commands mirror the deployment workflow of §IV-D at example scale:
   (collapsed-stack/flamegraph output)
 * ``top``          — live serving dashboard frames (QPS, percentiles,
   cache hit rate, breaker states, SLO budget)
+* ``loadtest``     — replay a seeded heavy-tailed traffic scenario through
+  the overload-safe serving stack on a virtual clock; exit code is the
+  gate verdict
+* ``chaos``        — the acceptance chaos run: bursty traffic against a
+  scripted fault schedule (store failures, outage window, stragglers,
+  corrupted rows), scored against the SLO engine
 
 ``train`` grows crash-safety flags: ``--checkpoint-dir`` /
 ``--checkpoint-every`` write atomic checkpoints during training and
@@ -212,6 +218,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dashboard frames to render (default: 3)")
     p_top.add_argument("--interval", type=float, default=0.5,
                        help="seconds between frames (default: 0.5)")
+
+    def add_loadtest_args(p: argparse.ArgumentParser, duration: float,
+                          rate: float) -> None:
+        p.add_argument("--duration", type=float, default=duration,
+                       help=f"virtual seconds of traffic "
+                            f"(default: {duration:g})")
+        p.add_argument("--rate", type=float, default=rate,
+                       help=f"baseline arrival rate, requests/s "
+                            f"(default: {rate:g})")
+        p.add_argument("--users", type=int, default=512,
+                       help="known users in the store (default: 512)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--budget-ms", type=float, default=50.0,
+                       help="per-request deadline budget in ms; 0 disables "
+                            "deadlines (default: 50)")
+        p.add_argument("--policy", choices=("reject", "drop_oldest",
+                                            "degrade"), default="reject",
+                       help="admission-control shed policy (default: reject)")
+        p.add_argument("--max-queue", type=int, default=256,
+                       help="bounded batcher queue depth (default: 256)")
+        p.add_argument("--no-throttle", action="store_true",
+                       help="disable the SLO-derived adaptive throttle")
+        p.add_argument("--shed-limit", type=float, default=0.2,
+                       help="max tolerated shed fraction for the gate "
+                            "(default: 0.2)")
+
+    p_loadtest = sub.add_parser(
+        "loadtest", help="replay a seeded traffic scenario through the "
+                         "serving stack on a virtual clock")
+    add_loadtest_args(p_loadtest, duration=10.0, rate=100.0)
+    p_loadtest.add_argument("--scenario",
+                            choices=("steady", "burst", "hot-keys",
+                                     "cold-start"), default="steady",
+                            help="traffic shape (default: steady)")
+    p_loadtest.add_argument("--failure-rate", type=float, default=0.0,
+                            help="background store failure probability "
+                                 "(default: 0)")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="acceptance chaos run: burst + store failures + "
+                      "outage window, scored against SLOs")
+    add_loadtest_args(p_chaos, duration=30.0, rate=60.0)
+    p_chaos.add_argument("--failure-rate", type=float, default=0.2,
+                         help="background store failure probability "
+                              "(default: 0.2)")
+    p_chaos.add_argument("--burst-multiplier", type=float, default=10.0,
+                         help="burst intensity over baseline (default: 10)")
+    p_chaos.add_argument("--burst-seconds", type=float, default=2.0,
+                         help="burst window length (default: 2)")
+    p_chaos.add_argument("--outage-seconds", type=float, default=2.0,
+                         help="hard store outage length (default: 2)")
 
     return parser
 
@@ -568,6 +625,44 @@ def _cmd_check(args, out) -> int:
     return 0 if not failures else 1
 
 
+def _loadtest_harness_kwargs(args) -> dict:
+    return dict(
+        deadline_budget_seconds=(args.budget_ms / 1e3
+                                 if args.budget_ms > 0 else None),
+        policy=args.policy,
+        max_queue=args.max_queue,
+        throttle=None if args.no_throttle else "auto",
+    )
+
+
+def _cmd_loadtest(args, out) -> int:
+    from repro.loadtest import ServingFaultSchedule, run_loadtest
+
+    schedule = (ServingFaultSchedule(failure_rate=args.failure_rate)
+                if args.failure_rate else None)
+    result = run_loadtest(scenario=args.scenario, duration=args.duration,
+                          rate=args.rate, seed=args.seed, n_users=args.users,
+                          schedule=schedule, shed_rate_limit=args.shed_limit,
+                          **_loadtest_harness_kwargs(args))
+    print(result.render(), file=out)
+    return 0 if result.passed else 1
+
+
+def _cmd_chaos(args, out) -> int:
+    from repro.loadtest import run_chaos
+
+    result = run_chaos(duration=args.duration, rate=args.rate,
+                       burst_multiplier=args.burst_multiplier,
+                       burst_seconds=args.burst_seconds,
+                       failure_rate=args.failure_rate,
+                       outage_seconds=args.outage_seconds,
+                       seed=args.seed, n_users=args.users,
+                       shed_rate_limit=args.shed_limit,
+                       **_loadtest_harness_kwargs(args))
+    print(result.render(), file=out)
+    return 0 if result.passed else 1
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "train": _cmd_train,
@@ -582,6 +677,8 @@ _COMMANDS = {
     "slo": _cmd_slo,
     "profile": _cmd_profile,
     "top": _cmd_top,
+    "loadtest": _cmd_loadtest,
+    "chaos": _cmd_chaos,
 }
 
 

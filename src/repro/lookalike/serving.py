@@ -5,6 +5,19 @@ of failing: store reads are retried with backoff under a circuit breaker, and
 when the store stays down the proxy falls back through a stale last-known-good
 snapshot, on-the-fly inference, and finally a field-prior default embedding —
 every request gets *some* vector, with the source visible in telemetry.
+
+Two overload-safety behaviours ride the same chain:
+
+* **Deadline short-circuit** — when the request's
+  :class:`~repro.resilience.guards.Deadline` (propagated by the batcher via
+  :func:`~repro.resilience.guards.deadline_scope`) is already expired, the
+  store read is skipped entirely and the lookup goes straight to the
+  degraded tiers (stale → infer → prior); retries and backoff respect the
+  remaining budget while it lasts.
+* **Corruption detection** — rows coming back from the store are validated
+  (right dimension, finite values); a corrupt row is *never* served, cached,
+  or snapshotted — it is routed down the same fallback chain and tallied
+  under the ``corrupt`` source counter.
 """
 
 from __future__ import annotations
@@ -18,7 +31,8 @@ import numpy as np
 from repro.lookalike.store import EmbeddingStore, LRUCache
 from repro.obs import runtime as obs
 from repro.resilience.guards import (CircuitBreaker, CircuitOpenError,
-                                     DeadlineExceeded, RetryPolicy)
+                                     DeadlineExceeded, RetryPolicy,
+                                     current_deadline)
 
 __all__ = ["ServingProxy", "ServingResilience"]
 
@@ -98,6 +112,8 @@ class ServingProxy:
         self.resilience = resilience
         self.inferences = 0
         self.store_errors = 0
+        self.corruptions = 0     # corrupt store rows detected and rerouted
+        self.deadline_skips = 0  # store reads skipped on an expired deadline
         self.source_counts: Counter[str] = Counter()
         self._stale: dict[Hashable, np.ndarray] = {}
 
@@ -163,6 +179,22 @@ class ServingProxy:
             self.source_counts[source] += 1
         return vec, source
 
+    def _note_corrupt(self, n: int) -> None:
+        """Tally corrupt store rows (never served — rerouted to fallbacks)."""
+        self.corruptions += n
+        self.source_counts["corrupt"] += n
+        obs.count("serving.corrupt_rows", n)
+        obs.event("store.corrupt", rows=n)
+
+    def _note_deadline_skip(self, exc: BaseException) -> None:
+        """Tally a store read short-circuited/abandoned on deadline expiry."""
+        self.deadline_skips += 1
+        obs.count("serving.deadline_skips")
+        obs.event("deadline.short_circuit", error=type(exc).__name__)
+
+    def _row_ok(self, vec: np.ndarray) -> bool:
+        return vec.shape == (self.store.dim,) and bool(np.isfinite(vec).all())
+
     def _lookup(self, user_id: Hashable) -> tuple[np.ndarray | None, str]:
         vec = self.cache.get(user_id)
         if vec is not None:
@@ -172,11 +204,24 @@ class ServingProxy:
         try:
             with obs.span("proxy.store"):
                 vec = self._store_get(user_id)
-            if vec is not None:
+            if vec is not None and not self._row_ok(np.asarray(vec)):
+                # corrupt payload: never serve it — reroute to the fallbacks
+                self._note_corrupt(1)
+                vec = None
+                stale = self._stale.get(user_id)
+                if stale is not None:
+                    vec, source = stale, "stale"
+            elif vec is not None:
                 source = "store"
                 if self.resilience is not None:
                     self._stale[user_id] = vec
-        except (CircuitOpenError, DeadlineExceeded) + _STORE_ERRORS as exc:
+        except DeadlineExceeded as exc:
+            # budget spent: short-circuit straight to the degraded tiers
+            self._note_deadline_skip(exc)
+            stale = self._stale.get(user_id)
+            if stale is not None:
+                vec, source = stale, "stale"
+        except (CircuitOpenError,) + _STORE_ERRORS as exc:
             self.store_errors += 1
             obs.count("serving.store_errors")
             obs.event("store.outage", error=type(exc).__name__)
@@ -267,32 +312,55 @@ class ServingProxy:
         pending = np.arange(len(uniq))
 
         # 2. store: one guarded gather for the whole pending group; an
-        # outage fails the group as a unit and the stale sweep takes over
-        try:
-            with obs.span("proxy.store"):
-                got, found = self._store_get_batch(uniq)
-        except (CircuitOpenError, DeadlineExceeded) + _STORE_ERRORS as exc:
-            self.store_errors += 1
-            obs.count("serving.store_errors")
-            obs.event("store.outage", error=type(exc).__name__)
+        # outage (or an expired request deadline) fails the group as a unit
+        # and the stale sweep takes over
+
+        def stale_sweep(rows) -> np.ndarray:
+            """Serve stale snapshots where possible; return the leftovers."""
             still = []
-            for row in pending:
+            for row in rows:
                 stale = self._stale.get(uniq[row])
                 if stale is not None:
                     res[row] = stale
                     rsrc[row] = "stale"
                 else:
                     still.append(row)
-            pending = np.asarray(still, dtype=np.int64)
+            return np.asarray(still, dtype=np.int64)
+
+        try:
+            with obs.span("proxy.store"):
+                got, found = self._store_get_batch(uniq)
+        except DeadlineExceeded as exc:
+            self._note_deadline_skip(exc)
+            pending = stale_sweep(pending)
+        except (CircuitOpenError,) + _STORE_ERRORS as exc:
+            self.store_errors += 1
+            obs.count("serving.store_errors")
+            obs.event("store.outage", error=type(exc).__name__)
+            pending = stale_sweep(pending)
         else:
-            found_rows = pending[found]
-            if found_rows.size:
-                res[found_rows] = got[found]
-                rsrc[found_rows] = "store"
+            got = np.asarray(got)
+            if got.ndim != 2 or got.shape[1] != dim:
+                # wrong-dim payload: the whole read is unusable
+                good = np.zeros_like(found)
+                corrupt = found.copy()
+            else:
+                finite = np.isfinite(got).all(axis=1)
+                good = found & finite
+                corrupt = found & ~finite
+            good_rows = pending[good]
+            if good_rows.size:
+                res[good_rows] = got[good]
+                rsrc[good_rows] = "store"
                 if self.resilience is not None:
-                    for row in found_rows:
+                    for row in good_rows:
                         self._stale[uniq[row]] = res[row]
-            pending = pending[~found]
+            if corrupt.any():
+                self._note_corrupt(int(corrupt.sum()))
+                leftovers = stale_sweep(pending[corrupt])
+            else:
+                leftovers = np.empty(0, dtype=np.int64)
+            pending = np.sort(np.concatenate([pending[~found], leftovers]))
 
         # 3. inference for the remainder, with one batched write-back
         if pending.size and self._infer_fn is not None:

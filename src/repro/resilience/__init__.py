@@ -28,7 +28,8 @@ from repro.resilience.faults import (FaultConfig, FaultEvent, FaultKind,
                                      StoreUnavailableError,
                                      simulate_faulty_run)
 from repro.resilience.guards import (CircuitBreaker, CircuitOpenError,
-                                     DeadlineExceeded, RetryPolicy)
+                                     Deadline, DeadlineExceeded, RetryPolicy,
+                                     current_deadline, deadline_scope)
 
 __all__ = [
     "Checkpoint", "CheckpointError", "Checkpointer",
@@ -36,5 +37,6 @@ __all__ = [
     "FaultConfig", "FaultEvent", "FaultKind", "FaultSchedule",
     "FaultyRunResult", "RecoveryStrategy", "simulate_faulty_run",
     "FlakyEmbeddingStore", "StoreUnavailableError",
-    "CircuitBreaker", "CircuitOpenError", "DeadlineExceeded", "RetryPolicy",
+    "CircuitBreaker", "CircuitOpenError", "Deadline", "DeadlineExceeded",
+    "RetryPolicy", "current_deadline", "deadline_scope",
 ]

@@ -2,30 +2,41 @@
 
 The online module (§IV-D) sits between ad requests and a bulk embedding
 store; a slow or flapping store must degrade the lookup, never the request.
-Three cooperating guards implement that:
+Four cooperating guards implement that:
 
+* :class:`Deadline` — a remaining-time budget carried with one request from
+  admission (``MicroBatcher.submit``) through the proxy, retry chain, and
+  store; propagated along the logical flow of control via a
+  :mod:`contextvars` scope (:func:`deadline_scope` / :func:`current_deadline`)
+  so nothing below the batcher needs an extra parameter;
 * :class:`RetryPolicy` — bounded retries with exponential backoff, capped by
-  a per-call deadline budget so tail latency stays bounded;
+  a per-call deadline budget so tail latency stays bounded; when a
+  :class:`Deadline` is in scope, backoff that would outlive the remaining
+  budget raises instead of sleeping;
 * :class:`CircuitBreaker` — after ``failure_threshold`` consecutive failures
   the breaker *opens* and lookups skip the store entirely (failing over to
   the stale snapshot / default chain) until a ``reset_seconds`` cool-down,
-  after which a single *half-open* probe decides whether to close again;
+  after which exactly one *half-open* probe decides whether to close again
+  (concurrent callers are refused while the probe is in flight);
 * :class:`DeadlineExceeded` — the error surfaced when the budget runs out.
 
-Both classes take injectable ``clock``/``sleep`` callables so tests (and the
-deterministic fault-injection harness) can drive them without wall-clock
-waits.  All state changes emit counters through :mod:`repro.obs`.
+All classes take injectable ``clock``/``sleep`` callables so tests (and the
+deterministic chaos harness in :mod:`repro.loadtest`) can drive them without
+wall-clock waits.  All state changes emit counters through :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Callable
 
 from repro.obs import runtime as obs
 
-__all__ = ["RetryPolicy", "CircuitBreaker", "CircuitOpenError",
-           "DeadlineExceeded"]
+__all__ = ["Deadline", "RetryPolicy", "CircuitBreaker", "CircuitOpenError",
+           "DeadlineExceeded", "current_deadline", "deadline_scope"]
 
 
 class DeadlineExceeded(TimeoutError):
@@ -34,6 +45,86 @@ class DeadlineExceeded(TimeoutError):
 
 class CircuitOpenError(RuntimeError):
     """A call was refused because the circuit breaker is open."""
+
+
+class Deadline:
+    """A remaining-time budget for one request.
+
+    Created at admission with the request's total latency budget and carried
+    (via :func:`deadline_scope`) through every layer that might block —
+    retries consult :meth:`allows` before sleeping, the serving proxy
+    consults :attr:`expired` before even attempting a store read, so an
+    expired request short-circuits straight to the degraded tiers instead of
+    queuing behind a slow dependency.
+
+    The clock is injectable (``ManualClock`` in tests and the load-test
+    harness) and shared with whatever retry/breaker instances guard the same
+    request, so budget accounting is deterministic.
+    """
+
+    __slots__ = ("expires_at", "clock")
+
+    def __init__(self, budget_seconds: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if budget_seconds < 0:
+            raise ValueError(
+                f"budget_seconds must be non-negative: {budget_seconds}")
+        self.clock = clock
+        self.expires_at = clock() + budget_seconds
+
+    @classmethod
+    def at(cls, expires_at: float,
+           clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """Build a deadline from an absolute expiry on ``clock``'s timeline."""
+        deadline = cls(0.0, clock=clock)
+        deadline.expires_at = float(expires_at)
+        return deadline
+
+    def remaining(self) -> float:
+        """Seconds of budget left (negative once expired)."""
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def allows(self, seconds: float) -> bool:
+        """Would spending ``seconds`` still finish inside the budget?"""
+        return self.remaining() >= seconds
+
+    def check(self, op: str = "call") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is already spent."""
+        if self.expired:
+            obs.count("deadline.expired", op=op)
+            raise DeadlineExceeded(
+                f"{op}: deadline expired {-self.remaining():.4f}s ago")
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.4f}s)"
+
+
+_DEADLINE: ContextVar[Deadline | None] = ContextVar("repro_deadline",
+                                                    default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing the current logical request, if any."""
+    return _DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Make ``deadline`` current for the block (``None`` clears the scope).
+
+    The batcher activates the flushed batch's governing deadline around its
+    ``flush_fn`` call; everything beneath — proxy, retries, store — then
+    reads it with :func:`current_deadline` without parameter threading.
+    """
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)
 
 
 class RetryPolicy:
@@ -73,12 +164,21 @@ class RetryPolicy:
         self.clock = clock
         self.sleep = sleep
 
-    def call(self, fn: Callable[[], object], name: str = "call"):
+    def call(self, fn: Callable[[], object], name: str = "call",
+             deadline: Deadline | None = None):
         """Run ``fn`` with retries; raises the last error when exhausted.
 
         Raises :class:`DeadlineExceeded` when the deadline budget would be
-        blown by waiting for another attempt.
+        blown by waiting for another attempt.  Two budgets apply: the
+        policy's own ``deadline_seconds`` (a per-call cap), and the
+        *request's* :class:`Deadline` — passed explicitly or picked up from
+        :func:`current_deadline` — whose remaining budget bounds both the
+        first attempt and every backoff sleep.
         """
+        if deadline is None:
+            deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(name)
         start = self.clock()
         backoff = self.backoff_seconds
         last_error: BaseException | None = None
@@ -90,6 +190,12 @@ class RetryPolicy:
                     raise DeadlineExceeded(
                         f"{name}: deadline of {self.deadline_seconds}s "
                         f"exhausted after {attempt} attempts") from last_error
+                if deadline is not None and not deadline.allows(backoff):
+                    obs.count("retry.deadline_exceeded", op=name)
+                    raise DeadlineExceeded(
+                        f"{name}: request budget ({deadline.remaining():.4f}s "
+                        f"left) cannot cover a {backoff:.4f}s backoff after "
+                        f"{attempt} attempts") from last_error
                 self.sleep(backoff)
                 backoff = min(backoff * self.multiplier,
                               self.max_backoff_seconds)
@@ -115,8 +221,14 @@ class CircuitBreaker:
       consecutive ones open the breaker.
     * ``open`` — calls are refused (:meth:`allow` returns ``False``) until
       ``reset_seconds`` have passed.
-    * ``half_open`` — one probe call is let through; success closes the
-      breaker, failure re-opens it and restarts the cool-down.
+    * ``half_open`` — exactly one probe call is let through; success closes
+      the breaker, failure re-opens it and restarts the cool-down.
+
+    Thread-safe: concurrent serving threads race on the open → half-open
+    edge, and without coordination a cool-down expiry would let a thundering
+    herd of "probes" through at once.  All state transitions happen under a
+    lock, and at most one probe is in flight in the half-open state — other
+    callers are refused until that probe's outcome is recorded.
     """
 
     CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
@@ -135,6 +247,8 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at: float | None = None
         self.trips = 0  # total closed/half-open -> open transitions
+        self._lock = threading.Lock()
+        self._probe_in_flight = False
 
     def _transition(self, state: str) -> None:
         if state == self.state:
@@ -147,29 +261,47 @@ class CircuitBreaker:
                       breaker=self.name)
 
     def allow(self) -> bool:
-        """May a call proceed right now?  (Open → half-open after cool-down.)"""
-        if self.state == self.OPEN:
-            if self.opened_at is not None and \
-                    self.clock() - self.opened_at >= self.reset_seconds:
-                self._transition(self.HALF_OPEN)
+        """May a call proceed right now?  (Open → half-open after cool-down.)
+
+        In the half-open state only the caller that won the transition (or,
+        after a probe's outcome is recorded without a state change, the next
+        caller in) gets ``True``; everyone else is refused while the single
+        probe is in flight.
+        """
+        with self._lock:
+            if self.state == self.OPEN:
+                if self.opened_at is not None and \
+                        self.clock() - self.opened_at >= self.reset_seconds:
+                    self._transition(self.HALF_OPEN)
+                    self._probe_in_flight = True
+                    return True
+                obs.count("breaker.rejected", breaker=self.name)
+                return False
+            if self.state == self.HALF_OPEN:
+                if self._probe_in_flight:
+                    obs.count("breaker.rejected", breaker=self.name)
+                    return False
+                self._probe_in_flight = True
                 return True
-            obs.count("breaker.rejected", breaker=self.name)
-            return False
-        return True
+            return True
 
     def record_success(self) -> None:
-        self.consecutive_failures = 0
-        if self.state != self.CLOSED:
-            self._transition(self.CLOSED)
+        with self._lock:
+            self._probe_in_flight = False
+            self.consecutive_failures = 0
+            if self.state != self.CLOSED:
+                self._transition(self.CLOSED)
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if self.state == self.HALF_OPEN or (
-                self.state == self.CLOSED
-                and self.consecutive_failures >= self.failure_threshold):
-            self.trips += 1
-            self.opened_at = self.clock()
-            self._transition(self.OPEN)
+        with self._lock:
+            self._probe_in_flight = False
+            self.consecutive_failures += 1
+            if self.state == self.HALF_OPEN or (
+                    self.state == self.CLOSED
+                    and self.consecutive_failures >= self.failure_threshold):
+                self.trips += 1
+                self.opened_at = self.clock()
+                self._transition(self.OPEN)
 
     def call(self, fn: Callable[[], object]):
         """Guarded invocation: refuse when open, record the outcome."""

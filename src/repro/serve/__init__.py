@@ -11,8 +11,11 @@ expires, so scalar callers transparently ride the vectorised path.
 behind the observability CLI (``repro trace/slo/profile/top``).
 """
 
-from repro.serve.batcher import MicroBatcher, PendingResult
+from repro.serve.batcher import (AdmissionError, MicroBatcher, PendingResult,
+                                 ShutdownError)
 from repro.serve.demo import ServingWorkload, WorkloadResult
+from repro.serve.overload import AdaptiveThrottle
 
-__all__ = ["MicroBatcher", "PendingResult", "ServingWorkload",
+__all__ = ["AdmissionError", "MicroBatcher", "PendingResult",
+           "ShutdownError", "AdaptiveThrottle", "ServingWorkload",
            "WorkloadResult"]

@@ -8,6 +8,30 @@ sits in between: requests queue up and the queue is flushed as one call to
 oldest entry has waited ``max_delay_seconds`` (deadline trigger, checked on
 every submit and on :meth:`MicroBatcher.poll`).
 
+Overload safety (the difference between a slow dependency and an unbounded
+pile-up) is layered on the same queue:
+
+* **Admission control** — ``max_queue`` bounds the queue; an arrival that
+  would overflow it is shed by ``policy``: ``reject`` fails the new handle
+  with :class:`AdmissionError`, ``drop_oldest`` evicts the stalest queued
+  request in its favour, ``degrade`` resolves the new request immediately
+  from ``degrade_fn`` (e.g. the field-prior embedding) without touching the
+  store path at all.
+* **Adaptive shedding** — an optional
+  :class:`~repro.serve.overload.AdaptiveThrottle` sheds arrivals when the
+  observed sojourn tail or the predicted queue wait crosses the SLO-derived
+  threshold, even before the queue is full.
+* **Deadline propagation** — ``submit(key, deadline=...)`` carries a
+  :class:`~repro.resilience.guards.Deadline` with the request; at flush
+  time, already-expired requests are split off and flushed under their
+  expired budget (the proxy short-circuits the store and serves the
+  degraded tiers), while the live batch runs under the tightest admitted
+  budget so retries/backoff below never outlive the caller.
+* **Clean shutdown** — :meth:`close` stops admissions and either drains or
+  fails the queue; pending handles resolve with :class:`ShutdownError`
+  instead of hanging in ``.result()`` forever.  ``MicroBatcher`` is a
+  context manager (drains on clean exit, fails pending on exceptions).
+
 The clock is injectable (the repo-wide ``ManualClock`` pattern), so deadline
 semantics are tested deterministically — no sleeps, no wall-clock flakes.
 Thread-safe: submits may come from many threads; ``flush_fn`` runs outside
@@ -22,14 +46,27 @@ from collections import Counter
 from typing import Callable, Hashable, Sequence
 
 from repro.obs import runtime as obs
+from repro.resilience.guards import Deadline, deadline_scope
 
-__all__ = ["MicroBatcher", "PendingResult"]
+__all__ = ["MicroBatcher", "PendingResult", "AdmissionError", "ShutdownError"]
+
+#: Admission policies for a full queue (or a throttle shed decision).
+POLICIES = ("reject", "drop_oldest", "degrade")
+
+
+class AdmissionError(RuntimeError):
+    """The request was shed by admission control before reaching the store."""
+
+
+class ShutdownError(RuntimeError):
+    """The batcher was closed while (or before) the request was pending."""
 
 
 class PendingResult:
     """Handle for one submitted key; resolves when its batch is flushed."""
 
-    __slots__ = ("key", "_event", "_value", "_error", "_span", "_submitted")
+    __slots__ = ("key", "_event", "_value", "_error", "_span", "_submitted",
+                 "_deadline", "_enqueued")
 
     def __init__(self, key: Hashable) -> None:
         self.key = key
@@ -40,10 +77,17 @@ class PendingResult:
         # batcher: opened at submit, closed at resolve/fail) and submit time.
         self._span = None
         self._submitted = 0.0
+        self._deadline: Deadline | None = None
+        self._enqueued = 0.0  # batcher-clock submit time (throttle feed)
 
     @property
     def done(self) -> bool:
         return self._event.is_set()
+
+    @property
+    def shed(self) -> bool:
+        """Was this request shed by admission control?"""
+        return isinstance(self._error, AdmissionError)
 
     def result(self, timeout: float | None = None):
         """Block until the batch containing this key has been flushed.
@@ -83,30 +127,78 @@ class MicroBatcher:
         every later submit and on :meth:`poll`.
     clock:
         Monotonic time source; inject a ``ManualClock`` in tests.
+    max_queue:
+        Admission bound: arrivals beyond this queue depth are shed by
+        ``policy``.  ``None`` (legacy default) leaves the queue unbounded.
+    policy:
+        What to shed when the queue is full or the throttle says stop:
+        ``"reject"`` the new arrival, ``"drop_oldest"`` queued request, or
+        ``"degrade"`` the new arrival to ``degrade_fn(key)`` immediately.
+    degrade_fn:
+        ``degrade_fn(key) -> value`` for the ``degrade`` policy — typically
+        the serving prior, so a shed request still gets *some* embedding.
+    throttle:
+        Optional :class:`~repro.serve.overload.AdaptiveThrottle`; fed with
+        per-request sojourns and per-flush service costs, consulted on every
+        submit.
     """
 
     def __init__(self, flush_fn: Callable[[list[Hashable]], Sequence],
                  max_batch: int = 64, max_delay_seconds: float = 0.002,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic, *,
+                 max_queue: int | None = None, policy: str = "reject",
+                 degrade_fn: Callable[[Hashable], object] | None = None,
+                 throttle=None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1: {max_batch}")
         if max_delay_seconds < 0:
             raise ValueError(
                 f"max_delay_seconds must be >= 0: {max_delay_seconds}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1: {max_queue}")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown admission policy {policy!r}; "
+                             f"use one of {POLICIES}")
+        if policy == "degrade" and degrade_fn is None:
+            raise ValueError("policy='degrade' requires degrade_fn")
         self._flush_fn = flush_fn
         self.max_batch = max_batch
         self.max_delay_seconds = max_delay_seconds
+        self.max_queue = max_queue
+        self.policy = policy
+        self.degrade_fn = degrade_fn
+        self.throttle = throttle
         self._clock = clock
         self._lock = threading.Lock()
         self._queue: list[PendingResult] = []
         self._deadline: float | None = None
+        self._closed = False
         #: Flush tallies by trigger: ``size`` / ``deadline`` / ``manual`` /
-        #: ``sync`` (a blocking :meth:`get` forcing its own batch out).
+        #: ``sync`` (a blocking :meth:`get` forcing its own batch out) /
+        #: ``close`` (a draining shutdown).
         self.flush_reasons: Counter[str] = Counter()
+        #: Shed tallies by cause: ``queue_full`` / ``throttle`` / ``closed``.
+        self.shed_counts: Counter[str] = Counter()
+        self.submitted = 0        # total submit() calls (incl. shed ones)
+        self.expired_flushed = 0  # requests flushed after their deadline
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def shed(self) -> int:
+        """Total requests shed by admission control (all causes)."""
+        return sum(self.shed_counts.values())
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted requests shed so far."""
+        return self.shed / self.submitted if self.submitted else 0.0
 
     @property
     def deadline(self) -> float | None:
@@ -114,8 +206,37 @@ class MicroBatcher:
         with self._lock:
             return self._deadline
 
-    def submit(self, key: Hashable) -> PendingResult:
+    # -- admission -------------------------------------------------------------
+
+    def _shed(self, pending: PendingResult, cause: str) -> None:
+        """Resolve a shed request per the policy (never reaches the store)."""
+        self.shed_counts[cause] += 1
+        obs.count("serve.shed", policy=self.policy, cause=cause)
+        if self.policy == "degrade" and cause != "closed":
+            pending._resolve(self.degrade_fn(pending.key))
+            obs.end_trace_span(pending._span)
+            return
+        error: BaseException = (
+            ShutdownError(f"batcher closed; request {pending.key!r} refused")
+            if cause == "closed" else
+            AdmissionError(f"request {pending.key!r} shed ({cause}, "
+                           f"policy={self.policy})"))
+        pending._fail(error)
+        obs.end_trace_span(pending._span, error=error)
+
+    def submit(self, key: Hashable,
+               deadline: Deadline | None = None) -> PendingResult:
         """Queue one key; returns a handle that resolves at flush time.
+
+        ``deadline`` is the request's remaining-budget carrier: it rides the
+        handle into the flush, where the batch below runs under the tightest
+        admitted budget and already-expired requests short-circuit to the
+        degraded serving tiers.
+
+        The handle *always* resolves: with the flushed value, with the
+        flush's error, or — when admission control sheds the request — with
+        :class:`AdmissionError` / the ``degrade_fn`` value /
+        :class:`ShutdownError` after :meth:`close`.
 
         Each submit opens its own request trace (when a telemetry session is
         installed): the batcher owns the request root from here until the
@@ -124,17 +245,39 @@ class MicroBatcher:
         finalized for tail-based retention.
         """
         pending = PendingResult(key)
+        pending._deadline = deadline
         pending._span = obs.begin_request("serve.request", key=str(key))
         pending._submitted = obs.trace_now()
+        pending._enqueued = self._clock()
         reason = None
+        victim: PendingResult | None = None
+        shed_cause: str | None = None
         with self._lock:
-            self._queue.append(pending)
-            if len(self._queue) >= self.max_batch:
-                reason = "size"
-            elif self._deadline is None:
-                self._deadline = self._clock() + self.max_delay_seconds
-            elif self._clock() >= self._deadline:
-                reason = "deadline"
+            self.submitted += 1
+            if self._closed:
+                shed_cause = "closed"
+            elif self.throttle is not None and \
+                    self.throttle.should_shed(len(self._queue)):
+                shed_cause = "throttle"
+            elif self.max_queue is not None and \
+                    len(self._queue) >= self.max_queue:
+                shed_cause = "queue_full"
+            if shed_cause in ("throttle", "queue_full") and \
+                    self.policy == "drop_oldest":
+                victim = self._queue.pop(0)
+            if victim is not None or shed_cause is None:
+                self._queue.append(pending)
+                if len(self._queue) >= self.max_batch:
+                    reason = "size"
+                elif self._deadline is None:
+                    self._deadline = self._clock() + self.max_delay_seconds
+                elif self._clock() >= self._deadline:
+                    reason = "deadline"
+            obs.gauge_set("serve.queue_depth", len(self._queue))
+        if victim is not None:
+            self._shed(victim, shed_cause)
+        elif shed_cause is not None:
+            self._shed(pending, shed_cause)
         if reason is not None:
             self._flush(reason)
         return pending
@@ -154,28 +297,94 @@ class MicroBatcher:
         """Flush whatever is queued right now; returns the batch size."""
         return self._flush("manual")
 
-    def get(self, key: Hashable):
+    def get(self, key: Hashable, deadline: Deadline | None = None):
         """Blocking convenience lookup: submit, force a flush, return.
 
-        If the submit itself triggered a size/deadline flush the value is
-        already resolved; otherwise the caller's own batch (plus anything
-        queued with it) is flushed synchronously.
+        If the submit itself triggered a size/deadline flush (or admission
+        control resolved the request on the spot) the value is already
+        there; otherwise the caller's own batch (plus anything queued with
+        it) is flushed synchronously.
         """
-        pending = self.submit(key)
+        pending = self.submit(key, deadline=deadline)
         if not pending.done:
             self._flush("sync")
         return pending.result()
+
+    def close(self, drain: bool = False) -> int:
+        """Stop admissions; resolve the queue one way or the other.
+
+        With ``drain=True`` the queued requests are flushed normally first;
+        otherwise every pending handle fails with :class:`ShutdownError` —
+        blocked ``.result()`` calls raise instead of hanging forever.  Later
+        submits resolve immediately with :class:`ShutdownError`.  Idempotent;
+        returns the number of requests drained or failed.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            self._closed = True
+        if drain:
+            return self._flush("close")
+        with self._lock:
+            batch = self._queue
+            self._queue = []
+            self._deadline = None
+            obs.gauge_set("serve.queue_depth", 0.0)
+        error = ShutdownError("batcher closed with requests pending")
+        for pending in batch:
+            pending._fail(error)
+            obs.end_trace_span(pending._span, error=error)
+        if batch:
+            obs.count("serve.shutdown_failed", len(batch))
+        return len(batch)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # clean exit drains outstanding work; an in-flight exception must not
+        # hang other threads on .result(), so their handles fail instead
+        self.close(drain=exc_type is None)
+        return False
+
+    # -- flushing --------------------------------------------------------------
 
     def _flush(self, reason: str) -> int:
         with self._lock:
             batch = self._queue
             self._queue = []
             self._deadline = None
+            obs.gauge_set("serve.queue_depth", 0.0)
         if not batch:
             return 0
         self.flush_reasons[reason] += 1
         obs.count("serve.flushes", trigger=reason)
         obs.observe("serve.batch_size", len(batch))
+        # Split off requests whose deadline already expired: they flush as
+        # their own sub-batch under the expired budget, so the proxy below
+        # short-circuits the store and serves the degraded tiers instead of
+        # spending retries on callers that already gave up.
+        live: list[PendingResult] = []
+        lapsed: list[PendingResult] = []
+        for p in batch:
+            expired = p._deadline is not None and p._deadline.expired
+            (lapsed if expired else live).append(p)
+        done = 0
+        if live:
+            budgets = [p._deadline for p in live if p._deadline is not None]
+            scope = min(budgets, key=lambda d: d.expires_at) \
+                if budgets else None
+            done += self._run_batch(live, reason, scope)
+        if lapsed:
+            self.expired_flushed += len(lapsed)
+            obs.count("serve.expired_requests", len(lapsed))
+            scope = min((p._deadline for p in lapsed),
+                        key=lambda d: d.expires_at)
+            done += self._run_batch(lapsed, reason, scope)
+        return done
+
+    def _run_batch(self, batch: list[PendingResult], reason: str,
+                   scope: Deadline | None) -> int:
         # Retroactive queue-wait spans (one per request), then one fan-in
         # flush span shared by every request trace in the batch; activating
         # it makes the flush_fn's own spans/events children of the flush.
@@ -188,14 +397,17 @@ class MicroBatcher:
             trigger=reason, batch_size=len(batch))
         token = obs.activate_span(flush_span)
         keys = [pending.key for pending in batch]
+        started = self._clock()
         try:
-            values = self._flush_fn(keys)
+            with deadline_scope(scope):
+                values = self._flush_fn(keys)
         except BaseException as exc:
             obs.deactivate_span(token)
             obs.end_trace_span(flush_span, error=exc)
             for pending in batch:
                 pending._fail(exc)
                 obs.end_trace_span(pending._span, error=exc)
+            self._feed_throttle(batch, started)
             return len(batch)
         obs.deactivate_span(token)
         obs.end_trace_span(flush_span)
@@ -209,4 +421,15 @@ class MicroBatcher:
         for pending, value in zip(batch, values):
             pending._resolve(value)
             obs.end_trace_span(pending._span)
+        self._feed_throttle(batch, started)
         return len(batch)
+
+    def _feed_throttle(self, batch: list[PendingResult],
+                       started: float) -> None:
+        throttle = self.throttle
+        if throttle is None:
+            return
+        now = self._clock()
+        throttle.record_flush(now - started, len(batch))
+        for pending in batch:
+            throttle.record(now - pending._enqueued)

@@ -1,0 +1,130 @@
+"""Adaptive load shedding: an SLO-derived throttle for the micro-batcher.
+
+Bounded queues (``MicroBatcher(max_queue=...)``) cap *how much* work can
+pile up; :class:`AdaptiveThrottle` decides *when piling up is already
+pointless*.  It watches two signals the batcher feeds it —
+
+* per-request **sojourn time** (submit → resolve, on the batcher's clock),
+  whose rolling p-quantile is compared against the SLO latency threshold;
+* per-request **service cost** (flush wall time / batch size), which turns
+  the current queue depth into a predicted wait for a new arrival.
+
+When either the observed tail latency or the predicted wait crosses the
+threshold, :meth:`should_shed` says so and the batcher sheds the request by
+its configured policy instead of queuing it into a latency it can no longer
+meet.  The threshold comes straight from a declarative SLO
+(:meth:`from_objective` accepts a :class:`repro.obs.slo.Objective`), so the
+shedding point and the scoring engine agree on what "too slow" means.
+
+Pure arithmetic over injected observations — no clocks of its own — so a
+``ManualClock``-driven replay produces bit-identical shed decisions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["AdaptiveThrottle"]
+
+
+class AdaptiveThrottle:
+    """Shed when observed tail latency or predicted queue wait exceeds an SLO.
+
+    Parameters
+    ----------
+    threshold_seconds:
+        The latency bound requests must meet (typically an SLO's
+        ``threshold_seconds``).
+    quantile:
+        Percentile of the rolling sojourn window compared against the
+        threshold (99.0 for a p99 objective).
+    window:
+        Rolling sample count for the sojourn quantile.
+    min_samples:
+        Observations required before the latency signal may shed — a cold
+        throttle never sheds on noise.
+    depth_headroom:
+        Multiplier on the threshold for the queue-depth signal: a new
+        arrival is shed when ``queue_depth x est_service_seconds`` exceeds
+        ``threshold_seconds x depth_headroom``.
+    """
+
+    def __init__(self, threshold_seconds: float, quantile: float = 99.0,
+                 window: int = 256, min_samples: int = 16,
+                 depth_headroom: float = 1.0) -> None:
+        if threshold_seconds <= 0:
+            raise ValueError(
+                f"threshold_seconds must be positive: {threshold_seconds}")
+        if not 0.0 < quantile <= 100.0:
+            raise ValueError(f"quantile must be in (0, 100]: {quantile}")
+        if window < 1 or min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        self.threshold_seconds = threshold_seconds
+        self.quantile = quantile
+        self.min_samples = min_samples
+        self.depth_headroom = depth_headroom
+        self._sojourns: deque[float] = deque(maxlen=window)
+        self._service: deque[float] = deque(maxlen=window)
+        self.decisions = 0
+        self.sheds = 0
+
+    @classmethod
+    def from_objective(cls, objective, **kwargs) -> "AdaptiveThrottle":
+        """Build a throttle whose bound is a latency SLO's own threshold.
+
+        ``objective`` is a :class:`repro.obs.slo.Objective` of kind
+        ``latency`` (e.g. from ``parse_objective("p99 latency <= 50ms")``).
+        """
+        if objective.kind != "latency":
+            raise ValueError(
+                f"throttle needs a latency objective, got {objective.kind!r}")
+        kwargs.setdefault("quantile", objective.target * 100.0)
+        return cls(objective.threshold_seconds, **kwargs)
+
+    # -- observations fed by the batcher ---------------------------------------
+
+    def record(self, sojourn_seconds: float) -> None:
+        """One request's submit → resolve time on the batcher's clock."""
+        self._sojourns.append(float(sojourn_seconds))
+
+    def record_flush(self, flush_seconds: float, batch_size: int) -> None:
+        """One flush's cost, amortised into a per-request service estimate."""
+        if batch_size > 0:
+            self._service.append(float(flush_seconds) / batch_size)
+
+    # -- the decision ----------------------------------------------------------
+
+    @property
+    def observed_quantile(self) -> float:
+        if not self._sojourns:
+            return 0.0
+        return float(np.percentile(np.asarray(self._sojourns), self.quantile))
+
+    @property
+    def est_service_seconds(self) -> float:
+        """Per-request service-time estimate (median of recent flushes)."""
+        if not self._service:
+            return 0.0
+        return float(np.median(np.asarray(self._service)))
+
+    def predicted_wait(self, queue_depth: int) -> float:
+        """Expected queue wait for an arrival behind ``queue_depth`` others."""
+        return queue_depth * self.est_service_seconds
+
+    def should_shed(self, queue_depth: int) -> bool:
+        """Would admitting one more request just miss the SLO anyway?"""
+        self.decisions += 1
+        shed = False
+        if len(self._sojourns) >= self.min_samples and \
+                self.observed_quantile > self.threshold_seconds:
+            shed = True
+            # forget one sample per shed so a poisoned window drains and the
+            # throttle probes again instead of shedding forever
+            self._sojourns.popleft()
+        elif self.predicted_wait(queue_depth) > \
+                self.threshold_seconds * self.depth_headroom:
+            shed = True
+        self.sheds += shed
+        return shed

@@ -1,0 +1,208 @@
+"""Deadline budgets, propagation, and the half-open single-probe breaker."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience import (CircuitBreaker, CircuitOpenError, Deadline,
+                              DeadlineExceeded, RetryPolicy, current_deadline,
+                              deadline_scope)
+from repro.utils import ManualClock as FakeClock
+
+
+class TestDeadline:
+    def test_budget_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+        clock.advance(0.3)
+        assert deadline.remaining() == pytest.approx(0.2)
+        clock.advance(0.3)
+        assert deadline.expired
+        assert deadline.remaining() == pytest.approx(-0.1)
+
+    def test_allows_is_remaining_budget_vs_cost(self):
+        clock = FakeClock()
+        deadline = Deadline(0.1, clock=clock)
+        assert deadline.allows(0.05)
+        assert not deadline.allows(0.2)
+        clock.advance(0.1)
+        assert not deadline.allows(0.01)  # budget exactly spent
+
+    def test_check_raises_only_after_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(0.1, clock=clock)
+        deadline.check("op")  # no raise while budget remains
+        clock.advance(0.2)
+        with pytest.raises(DeadlineExceeded, match="op"):
+            deadline.check("op")
+
+    def test_at_builds_from_absolute_expiry(self):
+        clock = FakeClock(start=10.0)
+        deadline = Deadline.at(10.25, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.25)
+
+    def test_zero_budget_is_immediately_expired(self):
+        assert Deadline(0.0, clock=FakeClock()).expired
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0, clock=FakeClock())
+
+
+class TestDeadlineScope:
+    def test_scope_sets_and_restores_current(self):
+        clock = FakeClock()
+        assert current_deadline() is None
+        outer = Deadline(1.0, clock=clock)
+        inner = Deadline(0.1, clock=clock)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_none_scope_clears_an_ambient_deadline(self):
+        clock = FakeClock()
+        with deadline_scope(Deadline(1.0, clock=clock)):
+            with deadline_scope(None):
+                assert current_deadline() is None
+
+    def test_scope_restored_when_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline(1.0, clock=FakeClock())):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+
+class TestRetryUnderDeadline:
+    def _retry(self, clock, **kwargs):
+        defaults = dict(max_attempts=5, backoff_seconds=0.1, multiplier=2.0,
+                        max_backoff_seconds=1.0, retry_on=(ConnectionError,),
+                        clock=clock, sleep=clock.sleep)
+        defaults.update(kwargs)
+        return RetryPolicy(**defaults)
+
+    def test_retries_stop_when_backoff_would_bust_the_budget(self):
+        clock = FakeClock()
+        calls = []
+
+        def always():
+            calls.append(clock())
+            raise ConnectionError("down")
+
+        # budget allows the first 0.1s backoff but not the second (0.2s)
+        deadline = Deadline(0.25, clock=clock)
+        with pytest.raises(DeadlineExceeded):
+            self._retry(clock).call(always, name="store.get",
+                                    deadline=deadline)
+        assert len(calls) == 2
+        assert not deadline.expired  # gave up *before* busting the budget
+
+    def test_ambient_deadline_picked_up_without_threading(self):
+        clock = FakeClock()
+        calls = []
+
+        def always():
+            calls.append(clock())
+            raise ConnectionError("down")
+
+        with deadline_scope(Deadline(0.25, clock=clock)):
+            with pytest.raises(DeadlineExceeded):
+                self._retry(clock).call(always, name="store.get")
+        assert len(calls) == 2
+
+    def test_expired_deadline_short_circuits_before_first_attempt(self):
+        clock = FakeClock()
+        deadline = Deadline(0.1, clock=clock)
+        clock.advance(0.2)
+        calls = []
+        with pytest.raises(DeadlineExceeded):
+            self._retry(clock).call(lambda: calls.append(1), deadline=deadline)
+        assert calls == []
+
+    def test_generous_deadline_never_interferes(self):
+        clock = FakeClock()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionError("down")
+            return "ok"
+
+        deadline = Deadline(60.0, clock=clock)
+        assert self._retry(clock).call(flaky, deadline=deadline) == "ok"
+        assert len(attempts) == 3
+
+
+class TestHalfOpenSingleProbe:
+    def _tripped_breaker(self, clock, threshold=2, reset=1.0):
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 reset_seconds=reset, clock=clock)
+        for __ in range(threshold):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        return breaker
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock)
+        clock.advance(1.5)
+        assert breaker.allow()          # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()      # second caller waits its turn
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_and_releases_the_slot(self):
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock)
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()      # cooldown restarted
+        clock.advance(1.5)
+        assert breaker.allow()          # next probe window opens again
+
+    def test_concurrent_callers_race_for_one_probe(self):
+        """Regression: N threads hitting a cooled-down breaker at once used
+        to all slip into half-open; exactly one may probe now."""
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock, threshold=3)
+        clock.advance(1.5)
+
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        admitted = []
+
+        def contend():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=contend) for __ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_breaker_call_wraps_probe_accounting(self):
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "too soon")
+        clock.advance(1.5)
+        assert breaker.call(lambda: "probe ok") == "probe ok"
+        assert breaker.state == CircuitBreaker.CLOSED
