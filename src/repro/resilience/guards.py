@@ -249,6 +249,7 @@ class CircuitBreaker:
         self.trips = 0  # total closed/half-open -> open transitions
         self._lock = threading.Lock()
         self._probe_in_flight = False
+        self._probe_started: float | None = None
 
     def _transition(self, state: str) -> None:
         if state == self.state:
@@ -274,20 +275,35 @@ class CircuitBreaker:
                         self.clock() - self.opened_at >= self.reset_seconds:
                     self._transition(self.HALF_OPEN)
                     self._probe_in_flight = True
+                    self._probe_started = self.clock()
                     return True
                 obs.count("breaker.rejected", breaker=self.name)
                 return False
             if self.state == self.HALF_OPEN:
                 if self._probe_in_flight:
+                    # A probe whose caller vanished without recording an
+                    # outcome (direct allow() use, or a BaseException that
+                    # bypassed call()'s bookkeeping) must not wedge the
+                    # breaker forever: after a full cool-down the probe slot
+                    # is reclaimed by the next caller.
+                    if self._probe_started is not None and \
+                            self.clock() - self._probe_started >= \
+                            self.reset_seconds:
+                        obs.count("breaker.probe_reclaimed",
+                                  breaker=self.name)
+                        self._probe_started = self.clock()
+                        return True
                     obs.count("breaker.rejected", breaker=self.name)
                     return False
                 self._probe_in_flight = True
+                self._probe_started = self.clock()
                 return True
             return True
 
     def record_success(self) -> None:
         with self._lock:
             self._probe_in_flight = False
+            self._probe_started = None
             self.consecutive_failures = 0
             if self.state != self.CLOSED:
                 self._transition(self.CLOSED)
@@ -295,6 +311,7 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         with self._lock:
             self._probe_in_flight = False
+            self._probe_started = None
             self.consecutive_failures += 1
             if self.state == self.HALF_OPEN or (
                     self.state == self.CLOSED
@@ -311,7 +328,10 @@ class CircuitBreaker:
                 f"({self.consecutive_failures} consecutive failures)")
         try:
             result = fn()
-        except Exception:
+        except BaseException:
+            # BaseException included: a KeyboardInterrupt/SystemExit escaping
+            # a half-open probe must still release the probe slot, or the
+            # breaker stays wedged refusing every later call.
             self.record_failure()
             raise
         self.record_success()

@@ -213,8 +213,21 @@ class MicroBatcher:
         self.shed_counts[cause] += 1
         obs.count("serve.shed", policy=self.policy, cause=cause)
         if self.policy == "degrade" and cause != "closed":
-            pending._resolve(self.degrade_fn(pending.key))
-            obs.end_trace_span(pending._span)
+            # degrade_fn is caller code (e.g. a prior lookup) and may itself
+            # fail; the handle must still resolve and its span must still end,
+            # so a raising degrade falls back to a plain admission failure.
+            try:
+                value = self.degrade_fn(pending.key)
+            except Exception as exc:
+                error = AdmissionError(
+                    f"request {pending.key!r} shed ({cause}, policy=degrade) "
+                    f"and degrade_fn failed: {exc!r}")
+                error.__cause__ = exc
+                pending._fail(error)
+                obs.end_trace_span(pending._span, error=error)
+            else:
+                pending._resolve(value)
+                obs.end_trace_span(pending._span)
             return
         error: BaseException = (
             ShutdownError(f"batcher closed; request {pending.key!r} refused")
@@ -262,8 +275,11 @@ class MicroBatcher:
             elif self.max_queue is not None and \
                     len(self._queue) >= self.max_queue:
                 shed_cause = "queue_full"
+            # A throttle shed can fire at any queue depth (the sojourn-tail
+            # signal is depth-independent); with nothing queued there is no
+            # victim to evict, so the new arrival is shed instead.
             if shed_cause in ("throttle", "queue_full") and \
-                    self.policy == "drop_oldest":
+                    self.policy == "drop_oldest" and self._queue:
                 victim = self._queue.pop(0)
             if victim is not None or shed_cause is None:
                 self._queue.append(pending)

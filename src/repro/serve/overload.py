@@ -18,10 +18,14 @@ shedding point and the scoring engine agree on what "too slow" means.
 
 Pure arithmetic over injected observations — no clocks of its own — so a
 ``ManualClock``-driven replay produces bit-identical shed decisions.
+Thread-safe: the batcher feeds observations after a flush (outside its own
+lock) while other threads consult :meth:`should_shed` at submit time, so all
+window access is serialized by an internal lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 
 import numpy as np
@@ -67,6 +71,9 @@ class AdaptiveThrottle:
         self.depth_headroom = depth_headroom
         self._sojourns: deque[float] = deque(maxlen=window)
         self._service: deque[float] = deque(maxlen=window)
+        # reentrant: should_shed reads the quantile/wait properties, which
+        # take the same lock as the record_* feeders running in other threads
+        self._lock = threading.RLock()
         self.decisions = 0
         self.sheds = 0
 
@@ -87,27 +94,32 @@ class AdaptiveThrottle:
 
     def record(self, sojourn_seconds: float) -> None:
         """One request's submit → resolve time on the batcher's clock."""
-        self._sojourns.append(float(sojourn_seconds))
+        with self._lock:
+            self._sojourns.append(float(sojourn_seconds))
 
     def record_flush(self, flush_seconds: float, batch_size: int) -> None:
         """One flush's cost, amortised into a per-request service estimate."""
         if batch_size > 0:
-            self._service.append(float(flush_seconds) / batch_size)
+            with self._lock:
+                self._service.append(float(flush_seconds) / batch_size)
 
     # -- the decision ----------------------------------------------------------
 
     @property
     def observed_quantile(self) -> float:
-        if not self._sojourns:
-            return 0.0
-        return float(np.percentile(np.asarray(self._sojourns), self.quantile))
+        with self._lock:
+            if not self._sojourns:
+                return 0.0
+            return float(
+                np.percentile(np.asarray(self._sojourns), self.quantile))
 
     @property
     def est_service_seconds(self) -> float:
         """Per-request service-time estimate (median of recent flushes)."""
-        if not self._service:
-            return 0.0
-        return float(np.median(np.asarray(self._service)))
+        with self._lock:
+            if not self._service:
+                return 0.0
+            return float(np.median(np.asarray(self._service)))
 
     def predicted_wait(self, queue_depth: int) -> float:
         """Expected queue wait for an arrival behind ``queue_depth`` others."""
@@ -115,16 +127,17 @@ class AdaptiveThrottle:
 
     def should_shed(self, queue_depth: int) -> bool:
         """Would admitting one more request just miss the SLO anyway?"""
-        self.decisions += 1
-        shed = False
-        if len(self._sojourns) >= self.min_samples and \
-                self.observed_quantile > self.threshold_seconds:
-            shed = True
-            # forget one sample per shed so a poisoned window drains and the
-            # throttle probes again instead of shedding forever
-            self._sojourns.popleft()
-        elif self.predicted_wait(queue_depth) > \
-                self.threshold_seconds * self.depth_headroom:
-            shed = True
-        self.sheds += shed
-        return shed
+        with self._lock:
+            self.decisions += 1
+            shed = False
+            if len(self._sojourns) >= self.min_samples and \
+                    self.observed_quantile > self.threshold_seconds:
+                shed = True
+                # forget one sample per shed so a poisoned window drains and
+                # the throttle probes again instead of shedding forever
+                self._sojourns.popleft()
+            elif self.predicted_wait(queue_depth) > \
+                    self.threshold_seconds * self.depth_headroom:
+                shed = True
+            self.sheds += shed
+            return shed

@@ -115,6 +115,37 @@ class TestCircuitBreaker:
         breaker.record_failure()
         assert breaker.state == CircuitBreaker.CLOSED
 
+    def test_base_exception_in_probe_releases_the_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=10,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 11
+
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            breaker.call(interrupted)
+        # the interrupted probe counts as a failure, not a wedged slot:
+        # the breaker re-opens and a later cool-down admits a fresh probe
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.now += 11
+        assert breaker.allow()
+
+    def test_stale_half_open_probe_is_reclaimed(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=10,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 11
+        assert breaker.allow()       # direct allow() caller takes the probe
+        assert not breaker.allow()   # single-probe rule holds...
+        clock.now += 11              # ...but the caller never records anything
+        assert breaker.allow()       # full cool-down -> slot reclaimed
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
 
 def _filled_store(n=40, dim=4, seed=0):
     store = EmbeddingStore(dim=dim)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -59,6 +61,38 @@ class TestBoundedQueue:
         batcher.flush()
         assert b.result() == "v:b" and c.result() == "v:c"
         assert batcher.shed_counts == {"queue_full": 1}
+
+    def test_drop_oldest_with_empty_queue_sheds_the_arrival(self):
+        # A throttle shed can fire while the queue is empty; drop_oldest has
+        # no victim to evict, so the new arrival must be shed (regression:
+        # this used to IndexError out of submit()).
+        clock = FakeClock()
+        throttle = AdaptiveThrottle(0.05, min_samples=1)
+        throttle.record(10.0)  # latency signal live on the first decision
+        batcher = MicroBatcher(echo_flush, max_batch=10, clock=clock,
+                               policy="drop_oldest", throttle=throttle)
+        handle = batcher.submit("a")
+        assert handle.done and handle.shed
+        with pytest.raises(AdmissionError):
+            handle.result()
+        assert batcher.shed_counts == {"throttle": 1}
+        assert len(batcher) == 0
+
+    def test_degrade_fn_failure_still_resolves_the_handle(self):
+        def broken_prior(key):
+            raise KeyError(key)
+
+        batcher = MicroBatcher(echo_flush, max_batch=10, clock=FakeClock(),
+                               max_queue=1, policy="degrade",
+                               degrade_fn=broken_prior)
+        a = batcher.submit("a")
+        b = batcher.submit("b")
+        assert b.done and b.shed   # failed, not hung
+        with pytest.raises(AdmissionError):
+            b.result()
+        assert batcher.shed_counts == {"queue_full": 1}
+        batcher.flush()
+        assert a.result() == "v:a"  # queued request unaffected
 
     def test_degrade_policy_answers_from_the_prior(self):
         clock = FakeClock()
@@ -123,6 +157,38 @@ class TestAdaptiveThrottle:
         assert throttle.predicted_wait(10) == pytest.approx(0.1)
         assert throttle.should_shed(queue_depth=10)   # 100ms wait > 50ms SLO
         assert not throttle.should_shed(queue_depth=2)
+
+    def test_concurrent_feed_and_decide_are_serialized(self):
+        # record/record_flush run after a flush, outside the batcher lock,
+        # while should_shed iterates the same windows from submitting
+        # threads; without internal locking this raised "deque mutated
+        # during iteration".
+        throttle = AdaptiveThrottle(0.05, min_samples=1, window=512)
+        errors: list[BaseException] = []
+
+        def feed():
+            try:
+                for i in range(3000):
+                    throttle.record(0.0001 * (i % 7))
+                    throttle.record_flush(0.001, batch_size=4)
+            except BaseException as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        def decide():
+            try:
+                for __ in range(3000):
+                    throttle.should_shed(queue_depth=3)
+            except BaseException as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=feed) for __ in range(2)]
+                   + [threading.Thread(target=decide) for __ in range(2)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert throttle.decisions == 6000
 
     def test_batcher_feeds_and_obeys_the_throttle(self):
         clock = FakeClock()
