@@ -10,7 +10,7 @@ gate is built on *relative* quantities that cancel the machine out.  The
 report's ``meta.suite`` field selects which family of gates applies (the
 baseline, when given, must come from the same suite):
 
-``training`` (``BENCH_PR3.json``):
+``training`` (``BENCH_PR8.json``):
 
 * ``epoch_speedup`` — fused+prefetch vs unfused+sync end-to-end throughput,
   measured inside the same process on the same machine.  This is the number
@@ -20,6 +20,17 @@ baseline, when given, must come from the same suite):
   invariant, not a particular wall-clock figure).
 * ``sampled_softmax kernel ratio`` — unfused p50 / fused p50 for the
   forward+backward microbenchmark, same-machine by construction.
+* ``capture_speedup`` — captured float32-throughout epoch throughput vs the
+  dynamic float64 fused+prefetch baseline.  Must hold the promised >= 1.5x
+  (scaled by the tolerance) and must not regress more than the tolerance
+  against the committed baseline.
+* ``capture_speedup_exact`` — captured float64 vs dynamic float64: the
+  bit-exact replay parity guard.  Must stay above ``1 - tolerance`` (the
+  capture machinery is not allowed to cost throughput).
+
+Baselines that predate a ratio (e.g. ``BENCH_PR3.json`` has no capture
+records) skip the baseline comparison for that ratio, keeping absolute
+gates only.
 
 ``serving`` (``BENCH_PR5.json``):
 
@@ -45,11 +56,16 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path("benchmarks/results/BENCH_PR3.json")
+DEFAULT_BASELINE = Path("benchmarks/results/BENCH_PR8.json")
 
 #: Absolute speedup floors the serving fast path promises (before the
 #: tolerance scaling): the acceptance bars of the serving-suite benchmarks.
 SERVING_FLOORS = {"serving_batch_speedup": 3.0, "lsh_batch_speedup": 2.0}
+
+#: The static-graph capture promise: captured float32 training holds >= 1.5x
+#: epoch throughput over the dynamic float64 fused+prefetch baseline, and the
+#: bit-exact float64 replay stays at parity (>= 1.0, tolerance-scaled).
+CAPTURE_FLOORS = {"capture_speedup": 1.5, "capture_speedup_exact": 1.0}
 
 
 def _records(report: dict) -> dict[str, dict]:
@@ -104,6 +120,15 @@ def check_training(current: dict, baseline: dict | None,
             f"sampled_softmax kernel ratio {kernel:.3f} < {floor:.3f}: the "
             "fused kernel is slower than the unfused chain")
 
+    for op, promised in CAPTURE_FLOORS.items():
+        ratio = _ratio(current, op)
+        cap_floor = promised * floor
+        if ratio < cap_floor:
+            failures.append(
+                f"{op} {ratio:.3f} < {cap_floor:.3f}: captured training no "
+                f"longer holds its promised {promised:.1f}x over the dynamic "
+                "float64 baseline")
+
     if baseline is not None:
         base_speedup = _epoch_speedup(baseline)
         if speedup < base_speedup * floor:
@@ -115,6 +140,18 @@ def check_training(current: dict, baseline: dict | None,
             failures.append(
                 f"sampled_softmax kernel ratio {kernel:.3f} regressed more "
                 f"than {tolerance:.0%} vs baseline {base_kernel:.3f}")
+        base_records = _records(baseline)
+        for op in CAPTURE_FLOORS:
+            # Pre-capture baselines (BENCH_PR3.json) have no capture records;
+            # the absolute floors above still apply.
+            if op not in base_records:
+                continue
+            base = _ratio(baseline, op)
+            ratio = _ratio(current, op)
+            if ratio < base * floor:
+                failures.append(
+                    f"{op} {ratio:.3f} regressed more than {tolerance:.0%} "
+                    f"vs baseline {base:.3f}")
     return failures
 
 
@@ -161,7 +198,9 @@ def _summary(report: dict) -> str:
         return " ".join(f"{op}={_ratio(report, op):.3f}"
                         for op in SERVING_FLOORS)
     return (f"epoch_speedup={_epoch_speedup(report):.3f} "
-            f"kernel_ratio={_kernel_ratio(report):.3f}")
+            f"kernel_ratio={_kernel_ratio(report):.3f} "
+            + " ".join(f"{op}={_ratio(report, op):.3f}"
+                       for op in CAPTURE_FLOORS))
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -390,6 +390,37 @@ def _oracle_lsh_batch(rng: np.random.Generator) -> Pairs:
     return pairs
 
 
+@register_oracle("nn.graph.replay_vs_dynamic",
+                 description="captured-tape training (trace + replay + ragged "
+                             "last-batch fallback) vs the dynamic autograd "
+                             "path — bit-exact epoch losses and final "
+                             "parameters in float64")
+def _oracle_replay_vs_dynamic(rng: np.random.Generator) -> Pairs:
+    from repro.core import FVAE, FVAEConfig
+    from repro.data import make_kd_like
+
+    seed = int(rng.integers(0, 2 ** 31))
+    # 72 users / batch 32 -> two full batches then a ragged one, so every
+    # epoch exercises trace, replay AND the dynamic fallback.
+    data = make_kd_like(n_users=72, seed=seed)
+    config = FVAEConfig(latent_dim=8, encoder_hidden=[16], decoder_hidden=[16],
+                        input_dropout=0.2, feature_dropout=0.1, seed=seed)
+
+    def run(capture: bool):
+        model = FVAE(data.dataset.schema, config)
+        model.fit(data.dataset, epochs=2, batch_size=32, capture=capture)
+        losses = np.asarray([r.loss for r in model.history.epochs])
+        return losses, model.state_dict()
+
+    ref_losses, ref_state = run(capture=False)
+    opt_losses, opt_state = run(capture=True)
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]] = {
+        "epoch_losses": (ref_losses, opt_losses)}
+    for name in ref_state:
+        pairs[f"param.{name}"] = (ref_state[name], opt_state[name])
+    return pairs
+
+
 @register_oracle("core.encoder.inference_vs_autograd",
                  description="FVAE.encode_batch raw-array inference forward "
                              "vs the eval-mode autograd Tensor forward "

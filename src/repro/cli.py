@@ -108,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fewer repeats / smaller preset (CI smoke)")
     p_microbench.add_argument("--out", default=None, metavar="PATH",
                               help="output JSON path (default: "
-                                   "benchmarks/results/BENCH_PR3.json for "
+                                   "benchmarks/results/BENCH_PR8.json for "
                                    "training, BENCH_PR5.json for serving)")
     p_microbench.add_argument("--users", type=int, default=None,
                               help="override the epoch-throughput preset size")
@@ -588,16 +588,20 @@ def _cmd_check(args, out) -> int:
     failures = 0
 
     uncovered = check.uncovered_ops()
-    reports = check.run_gradchecks(seed=args.seed)
-    bad = [r for r in reports if not r.passed]
-    failures += len(uncovered) + len(bad)
-    print(f"gradcheck: {len(reports)} cases over "
-          f"{len(check.required_ops())} ops — "
-          f"{len(bad)} failed, {len(uncovered)} uncovered", file=out)
+    for captured in (False, True):
+        reports = check.run_gradchecks(seed=args.seed, captured=captured)
+        bad = [r for r in reports if not r.passed]
+        failures += len(bad)
+        label = "gradcheck (captured)" if captured else "gradcheck"
+        extra = "" if captured else f", {len(uncovered)} uncovered"
+        print(f"{label}: {len(reports)} cases over "
+              f"{len(check.required_ops())} ops — "
+              f"{len(bad)} failed{extra}", file=out)
+        for report in bad:
+            print(f"  {report}", file=out)
+    failures += len(uncovered)
     for op in sorted(uncovered):
         print(f"  UNCOVERED {op}: register a gradcheck case", file=out)
-    for report in bad:
-        print(f"  {report}", file=out)
 
     seeds = tuple(range(args.seed, args.seed + args.oracle_seeds))
     oracle_reports = check.run_oracles(seeds=seeds)
@@ -609,12 +613,22 @@ def _cmd_check(args, out) -> int:
     for report in bad:
         print(f"  {report}", file=out)
 
+    mode = "quick" if args.quick else "full"
     problems = check.check_golden(quick=args.quick,
                                   directory=args.golden_dir,
                                   seed=args.seed)
     failures += len(problems)
-    mode = "quick" if args.quick else "full"
     print(f"golden ({mode}): {len(problems)} divergences", file=out)
+    for problem in problems[:20]:
+        print(f"  {problem}", file=out)
+    if len(problems) > 20:
+        print(f"  ... and {len(problems) - 20} more", file=out)
+
+    problems = check.check_captured_golden(quick=args.quick,
+                                           directory=args.golden_dir,
+                                           seed=args.seed)
+    failures += len(problems)
+    print(f"golden captured ({mode}): {len(problems)} divergences", file=out)
     for problem in problems[:20]:
         print(f"  {problem}", file=out)
     if len(problems) > 20:

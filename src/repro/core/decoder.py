@@ -15,7 +15,7 @@ from repro.data.fields import FieldSchema
 from repro.hashing import DynamicHashTable
 from repro.nn import functional as F
 from repro.nn.layers import Linear, Module
-from repro.nn.tensor import Parameter, Tensor, no_grad
+from repro.nn.tensor import Parameter, Tensor, as_tensor, no_grad
 from repro.utils.rng import new_rng
 
 __all__ = ["FieldOutputHead", "FieldAwareDecoder"]
@@ -142,7 +142,8 @@ class FieldAwareDecoder(Module):
             return self._heads[field].nll_for_rows(trunk, candidate_rows,
                                                    targets, scale=scale)
         log_probs = self.log_probs(trunk, field, candidate_rows)
-        return -(Tensor(targets) * log_probs).sum() * scale
+        return -(as_tensor(targets, like=log_probs.data.dtype)
+                  * log_probs).sum() * scale
 
     def full_scores(self, z_mu: np.ndarray, field: str,
                     chunk: int = 4096) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

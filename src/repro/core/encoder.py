@@ -267,7 +267,8 @@ class FieldAwareEncoder(Module):
             first = contribution if first is None else first + contribution
         if first is None:
             # every field empty: encode from bias alone
-            zeros = np.zeros((batch.n_users, self.hidden_dims[0]))
+            zeros = np.zeros((batch.n_users, self.hidden_dims[0]),
+                             dtype=self.first_bias.data.dtype)
             first = Tensor(zeros)
         h = act(first + self.first_bias)
         if self.dropout is not None:
@@ -305,7 +306,8 @@ class FieldAwareEncoder(Module):
             else:
                 first += contribution
         if first is None:
-            first = np.zeros((batch.n_users, self.hidden_dims[0]))
+            first = np.zeros((batch.n_users, self.hidden_dims[0]),
+                             dtype=self.first_bias.data.dtype)
         first += self.first_bias.data
         h = act(first)
         for layer in self._dense:

@@ -27,7 +27,7 @@ from repro.core.encoder import FieldAwareEncoder
 from repro.data.dataset import MultiFieldDataset, UserBatch
 from repro.data.fields import FieldSchema
 from repro.nn import gaussian_kl
-from repro.nn.layers import Module
+from repro.nn.layers import Dropout, Module
 from repro.nn.tensor import Tensor, is_inference, no_grad
 from repro.sampling import get_sampler, select_candidates
 from repro.utils.rng import new_rng
@@ -84,11 +84,28 @@ class FVAE(Module, UserRepresentationModel):
 
     # -- training --------------------------------------------------------------
 
+    def capture_rng_sources(self) -> list:
+        """RNG streams a replay fallback must rewind (see ``nn.graph``).
+
+        Everything drawn *inside* a training step: reparameterisation noise
+        and candidate sampling (``self._rng``), feature corruption
+        (``encoder._feature_rng``), and hidden-layer dropout masks.
+        """
+        sources = [self._rng, self.encoder._feature_rng]
+        for module in self.modules():
+            rng = getattr(module, "_rng", None)
+            if rng is not None and isinstance(module, Dropout):
+                sources.append(rng)
+        return sources
+
     def reparameterize(self, mu: Tensor, logvar: Tensor, sample: bool) -> Tensor:
         """``z = μ + σ·ε`` with ``ε ~ N(0, I)`` (the reparametrisation trick)."""
         if not sample:
             return mu
-        eps = self._rng.standard_normal(mu.shape)
+        # float64 draw regardless of model dtype: the noise stream (and its
+        # consumption order) is part of the run's determinism contract.
+        eps = self._rng.standard_normal(mu.shape).astype(mu.data.dtype,
+                                                         copy=False)
         return mu + (logvar * 0.5).exp() * Tensor(eps)
 
     def _field_candidates(self, batch: UserBatch) -> dict[str, np.ndarray]:
@@ -195,7 +212,10 @@ class FVAE(Module, UserRepresentationModel):
 
         if warm_start_bias:
             self.initialize_from_dataset(dataset)
-        trainer = Trainer(self, lr=lr)
+        # `precision` must reach the Trainer constructor (the cast has to
+        # precede optimizer construction); everything else goes to fit().
+        trainer = Trainer(self, lr=lr,
+                          precision=trainer_kwargs.pop("precision", None))
         self.history = trainer.fit(dataset, epochs=epochs, batch_size=batch_size,
                                    verbose=verbose, **trainer_kwargs)
         return self

@@ -15,6 +15,14 @@ paper's efficiency section (§IV-C) relies on:
 * The decoder's *batched softmax* is the composition
   ``log_softmax(h @ rows(W, cand).T + take(b, cand))`` — logits are computed
   for the batch's candidate feature set only (cost ``O(N̄_b·D)``).
+
+Every op follows the static-kernel protocol of :mod:`repro.nn.tensor`
+(``forward(ws, args, *parent_arrays)`` / ``backward(grad, parents, saved,
+args)``), so the dynamic autograd path and the captured-replay path of
+:mod:`repro.nn.graph` execute the same code and stay bit-identical.  All ops
+are dtype-preserving: float32 inputs produce float32 outputs (the dropout
+mask and sampled-softmax targets are cast to the operand dtype instead of
+silently promoting to float64).
 """
 
 from __future__ import annotations
@@ -23,8 +31,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.nn.tensor import (Parameter, Tensor, as_tensor, coalesce_rows,
-                             stable_sigmoid)
+from repro.nn.tensor import (Parameter, Tensor, _buf, _dispatch, _out,
+                             as_tensor, coalesce_rows, stable_sigmoid)
 
 __all__ = [
     "relu", "tanh", "sigmoid", "exp", "log", "softplus",
@@ -59,15 +67,33 @@ def log(x: Tensor) -> Tensor:
     return as_tensor(x).log()
 
 
+class OpSoftplus:
+    name = "softplus"
+
+    @staticmethod
+    def forward(ws, args, a):
+        if ws is None:
+            return np.maximum(a, 0.0) + np.log1p(np.exp(-np.abs(a))), None
+        t = _buf(ws, "t", a.shape, a.dtype)
+        np.abs(a, out=t)
+        np.negative(t, out=t)
+        np.exp(t, out=t)
+        np.log1p(t, out=t)
+        out = _out(ws, a.shape, a.dtype)
+        np.maximum(a, 0.0, out=out)
+        np.add(out, t, out=out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p = parents[0]
+        p._accumulate(grad * stable_sigmoid(p.data))
+
+
 def softplus(x: Tensor) -> Tensor:
     """``log(1 + e^x)`` computed stably as ``max(x,0) + log1p(e^-|x|)``."""
     x = as_tensor(x)
-    data = np.maximum(x.data, 0.0) + np.log1p(np.exp(-np.abs(x.data)))
-
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * stable_sigmoid(x.data))
-
-    return Tensor._make(data, (x,), backward)
+    return _dispatch(OpSoftplus, (x,), None, x.data)
 
 
 def _is_sparse_param(t: Tensor) -> bool:
@@ -96,6 +122,22 @@ def _scatter_grad(weight: Tensor, index: np.ndarray, grad_rows: np.ndarray,
     weight._accumulate(full)
 
 
+class OpRows:
+    name = "rows"
+
+    @staticmethod
+    def forward(ws, args, w):
+        if ws is None:
+            return w[args], None
+        out = _out(ws, args.shape + w.shape[1:], w.dtype)
+        np.take(w, args, axis=0, out=out, mode="clip")
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        _scatter_grad(parents[0], args, grad)
+
+
 def rows(weight: Tensor, index: np.ndarray) -> Tensor:
     """Gather ``weight[index]`` (rows of a 2-D tensor).
 
@@ -104,12 +146,7 @@ def rows(weight: Tensor, index: np.ndarray) -> Tensor:
     scattered into the parameter's reusable gradient workspace.
     """
     index = np.asarray(index, dtype=np.int64)
-    out_data = weight.data[index]
-
-    def backward(grad: np.ndarray) -> None:
-        _scatter_grad(weight, index, grad)
-
-    return Tensor._make(out_data, (weight,), backward)
+    return _dispatch(OpRows, (weight,), index, weight.data)
 
 
 def take(weight: Tensor, index: np.ndarray) -> Tensor:
@@ -117,18 +154,15 @@ def take(weight: Tensor, index: np.ndarray) -> Tensor:
     index = np.asarray(index, dtype=np.int64)
     if weight.data.ndim != 1:
         raise ValueError("take() expects a 1-D tensor; use rows() for matrices")
-    out_data = weight.data[index]
-
-    def backward(grad: np.ndarray) -> None:
-        _scatter_grad(weight, index, grad)
-
-    return Tensor._make(out_data, (weight,), backward)
+    return _dispatch(OpRows, (weight,), index, weight.data)
 
 
 def embedding_bag_data(weight_data: np.ndarray, indices: np.ndarray,
                        offsets: np.ndarray,
                        per_index_weights: np.ndarray | None = None,
                        segment: np.ndarray | None = None,
+                       out: np.ndarray | None = None,
+                       gather_out: np.ndarray | None = None,
                        ) -> tuple[np.ndarray, np.ndarray]:
     """Raw-array forward of :func:`embedding_bag`: ``(out, segment)``.
 
@@ -136,7 +170,9 @@ def embedding_bag_data(weight_data: np.ndarray, indices: np.ndarray,
     autograd :func:`embedding_bag` wraps it, and inference-mode callers
     (``FieldAwareEncoder.forward_arrays``) call it directly with a plain
     weight matrix.  One implementation means the two paths are bit-identical
-    by construction, not by testing alone.
+    by construction, not by testing alone.  ``out`` / ``gather_out`` are
+    optional preallocated workspaces (the captured-replay path reuses them
+    across steps); values are identical either way.
     """
     indices = np.asarray(indices, dtype=np.int64)
     offsets = np.asarray(offsets, dtype=np.int64)
@@ -155,12 +191,21 @@ def embedding_bag_data(weight_data: np.ndarray, indices: np.ndarray,
         if segment.size != indices.size:
             raise ValueError("segment must have one bag id per index")
 
-    gathered = weight_data[indices]
+    if gather_out is None:
+        gathered = weight_data[indices]
+    else:
+        gathered = gather_out
+        np.take(weight_data, indices, axis=0, out=gathered, mode="clip")
     if per_index_weights is not None:
         per_index_weights = np.asarray(per_index_weights,
                                        dtype=weight_data.dtype)
         gathered *= per_index_weights[:, None]  # fresh gather: in-place safe
-    out_data = np.zeros((n_bags, weight_data.shape[1]), dtype=weight_data.dtype)
+    if out is None:
+        out_data = np.zeros((n_bags, weight_data.shape[1]),
+                            dtype=weight_data.dtype)
+    else:
+        out_data = out
+        out_data[...] = 0.0
     if indices.size:
         # Contiguous segment sum: reduceat over the starts of non-empty bags.
         # Because every element between two non-empty starts belongs to the
@@ -169,6 +214,34 @@ def embedding_bag_data(weight_data: np.ndarray, indices: np.ndarray,
         nonempty = np.flatnonzero(lengths > 0)
         out_data[nonempty] = np.add.reduceat(gathered, offsets[nonempty], axis=0)
     return out_data, segment
+
+
+class OpEmbeddingBag:
+    # Replay intentionally does NOT route this kernel's gather/output matrices
+    # through the workspace arena: A/B benchmarks (see docs/PERFORMANCE.md,
+    # "rejected alternatives") showed arena reuse for these bandwidth-bound
+    # buffers running ~10% slower than glibc's recycled fresh allocations,
+    # dragging whole-step replay below the dynamic path.
+    name = "embedding_bag"
+
+    @staticmethod
+    def forward(ws, args, w):
+        indices, offsets, per_index_weights, segment = args
+        out_data, segment = embedding_bag_data(
+            w, indices, offsets, per_index_weights, segment)
+        piw = per_index_weights
+        if piw is not None:
+            piw = np.asarray(piw, dtype=w.dtype)
+        return out_data, (segment, piw)
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        segment, piw = saved
+        indices = args[0]
+        grad_rows = grad[segment]
+        if piw is not None:
+            grad_rows *= piw[:, None]  # fresh gather
+        _scatter_grad(parents[0], indices, grad_rows)
 
 
 def embedding_bag(weight: Tensor, indices: np.ndarray, offsets: np.ndarray,
@@ -200,73 +273,43 @@ def embedding_bag(weight: Tensor, indices: np.ndarray, offsets: np.ndarray,
     gathered embedding rows of bag ``i``.
     """
     indices = np.asarray(indices, dtype=np.int64)
-    out_data, segment = embedding_bag_data(weight.data, indices, offsets,
-                                           per_index_weights, segment)
-    if per_index_weights is not None:
-        per_index_weights = np.asarray(per_index_weights, dtype=weight.data.dtype)
-
-    def backward(grad: np.ndarray) -> None:
-        grad_rows = grad[segment]
-        if per_index_weights is not None:
-            grad_rows *= per_index_weights[:, None]  # fresh gather
-        _scatter_grad(weight, indices, grad_rows)
-
-    return Tensor._make(out_data, (weight,), backward)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return _dispatch(OpEmbeddingBag, (weight,),
+                     (indices, offsets, per_index_weights, segment),
+                     weight.data)
 
 
-def sampled_softmax_nll(h: Tensor, weight: Tensor, bias: Tensor,
-                        candidate_rows: np.ndarray, targets: np.ndarray,
-                        scale: float = 1.0) -> Tensor:
-    """Fused batched-softmax reconstruction NLL over a candidate set.
+class OpSampledSoftmaxNLL:
+    name = "sampled_softmax_nll"
 
-    Computes, in one forward and one backward closure,
+    @staticmethod
+    def forward(ws, args, h, w, b):
+        cand, targets, scale = args
+        # One (B, C) working buffer carried through logits → shifted →
+        # log_probs; every in-place step keeps the op order (and hence
+        # rounding) of the unfused ``rows → matmul → take → log_softmax →
+        # mul → sum → neg → mul`` reference chain, so losses and gradients
+        # stay bit-identical to it.  Like OpEmbeddingBag, the big (B, C) and
+        # (C, D) matrices deliberately stay fresh allocations on replay:
+        # arena reuse for them measured slower than malloc's recycled hot
+        # buffers (docs/PERFORMANCE.md, "rejected alternatives").
+        w_rows = w[cand]
+        logits = h @ w_rows.T
+        logits += b[cand]
+        np.subtract(logits, logits.max(axis=-1, keepdims=True), out=logits)
+        e = np.exp(logits)
+        logsumexp = e.sum(axis=-1, keepdims=True)
+        np.log(logsumexp, out=logsumexp)
+        log_probs = np.subtract(logits, logsumexp, out=logits)
+        prod = np.multiply(targets, log_probs, out=e)
+        nll = -prod.sum() * scale
+        return np.asarray(nll), (w_rows, log_probs)
 
-    .. code-block:: python
-
-        logits    = h @ weight[cand].T + bias[cand]
-        log_probs = log_softmax(logits, axis=-1)
-        nll       = -(targets * log_probs).sum() * scale
-
-    which is bit-identical to the unfused reference chain
-    ``rows → matmul → take → log_softmax → mul → sum → neg → mul`` but
-    materializes no intermediate Tensors and builds no autograd sub-graph:
-    the backward pass is a single closure producing ``h.grad`` densely and
-    row-sparse (coalesced) gradients for ``weight``/``bias``.
-
-    Parameters
-    ----------
-    h:
-        ``(B, D)`` decoder trunk activations.
-    weight, bias:
-        Output head parameters of shape ``(J, D)`` and ``(J,)``; dense or
-        row-sparse :class:`Parameter` (sparse params record coalesced parts).
-    candidate_rows:
-        ``(C,)`` int64 row ids of the batch's candidate features.
-    targets:
-        ``(B, C)`` dense target matrix aligned with ``candidate_rows``.
-    scale:
-        Multiplier applied to the summed NLL (e.g. ``1 / n_users``).
-    """
-    h = as_tensor(h)
-    cand = np.asarray(candidate_rows, dtype=np.int64)
-    targets = np.asarray(targets, dtype=np.float64)
-
-    # One (B, C) working buffer carried through logits → shifted → log_probs;
-    # every in-place step keeps the op order (and hence rounding) of the
-    # unfused ``rows → matmul → take → log_softmax → mul → sum → neg → mul``
-    # reference chain, so losses and gradients stay bit-identical to it.
-    w_rows = weight.data[cand]
-    logits = h.data @ w_rows.T
-    logits += bias.data[cand]
-    np.subtract(logits, logits.max(axis=-1, keepdims=True), out=logits)
-    e = np.exp(logits)
-    logsumexp = e.sum(axis=-1, keepdims=True)
-    np.log(logsumexp, out=logsumexp)
-    log_probs = np.subtract(logits, logsumexp, out=logits)
-    prod = np.multiply(targets, log_probs, out=e)
-    nll = -prod.sum() * scale
-
-    def backward(grad: np.ndarray) -> None:
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        h, weight, bias = parents
+        cand, targets, scale = args
+        w_rows, log_probs = saved
         coef = -(grad * scale)
         g = coef * targets
         soft = np.exp(log_probs)
@@ -285,35 +328,140 @@ def sampled_softmax_nll(h: Tensor, weight: Tensor, bias: Tensor,
         if bias.requires_grad:
             _scatter_grad(bias, cand, glogits.sum(axis=0), assume_unique=True)
 
-    return Tensor._make(np.asarray(nll), (h, weight, bias), backward)
+
+def sampled_softmax_nll(h: Tensor, weight: Tensor, bias: Tensor,
+                        candidate_rows: np.ndarray, targets: np.ndarray,
+                        scale: float = 1.0) -> Tensor:
+    """Fused batched-softmax reconstruction NLL over a candidate set.
+
+    Computes, in one forward and one backward kernel,
+
+    .. code-block:: python
+
+        logits    = h @ weight[cand].T + bias[cand]
+        log_probs = log_softmax(logits, axis=-1)
+        nll       = -(targets * log_probs).sum() * scale
+
+    which is bit-identical to the unfused reference chain
+    ``rows → matmul → take → log_softmax → mul → sum → neg → mul`` but
+    materializes no intermediate Tensors and builds no autograd sub-graph:
+    the backward pass produces ``h.grad`` densely and row-sparse (coalesced)
+    gradients for ``weight``/``bias``.
+
+    Parameters
+    ----------
+    h:
+        ``(B, D)`` decoder trunk activations.
+    weight, bias:
+        Output head parameters of shape ``(J, D)`` and ``(J,)``; dense or
+        row-sparse :class:`Parameter` (sparse params record coalesced parts).
+    candidate_rows:
+        ``(C,)`` int64 row ids of the batch's candidate features.
+    targets:
+        ``(B, C)`` dense target matrix aligned with ``candidate_rows``.
+    scale:
+        Multiplier applied to the summed NLL (e.g. ``1 / n_users``).
+    """
+    h = as_tensor(h)
+    cand = np.asarray(candidate_rows, dtype=np.int64)
+    # Cast targets to the logits dtype (not a hard-coded float64) so a
+    # float32 model runs float32 throughout.
+    targets = np.asarray(targets,
+                         dtype=np.result_type(h.data.dtype, weight.data.dtype))
+    return _dispatch(OpSampledSoftmaxNLL, (h, weight, bias),
+                     (cand, targets, scale), h.data, weight.data, bias.data)
+
+
+class OpSoftmax:
+    name = "softmax"
+
+    @staticmethod
+    def forward(ws, args, a):
+        if ws is None:
+            shifted = a - a.max(axis=args, keepdims=True)
+            e = np.exp(shifted)
+            out = e / e.sum(axis=args, keepdims=True)
+            return out, out
+        s = _buf(ws, "s", a.shape, a.dtype)
+        np.subtract(a, a.max(axis=args, keepdims=True), out=s)
+        np.exp(s, out=s)
+        out = _out(ws, a.shape, a.dtype)
+        np.divide(s, s.sum(axis=args, keepdims=True), out=out)
+        return out, out
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        dot = (grad * saved).sum(axis=args, keepdims=True)
+        parents[0]._accumulate(saved * (grad - dot))
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` (differentiable, numerically stable)."""
     x = as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out_data = e / e.sum(axis=axis, keepdims=True)
+    return _dispatch(OpSoftmax, (x,), axis, x.data)
 
-    def backward(grad: np.ndarray) -> None:
-        dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        x._accumulate(out_data * (grad - dot))
 
-    return Tensor._make(out_data, (x,), backward)
+class OpLogSoftmax:
+    name = "log_softmax"
+
+    @staticmethod
+    def forward(ws, args, a):
+        if ws is None:
+            shifted = a - a.max(axis=args, keepdims=True)
+            logsumexp = np.log(np.exp(shifted).sum(axis=args, keepdims=True))
+            out = shifted - logsumexp
+            return out, out
+        s = _buf(ws, "s", a.shape, a.dtype)
+        np.subtract(a, a.max(axis=args, keepdims=True), out=s)
+        e = _buf(ws, "e", a.shape, a.dtype)
+        np.exp(s, out=e)
+        logsumexp = e.sum(axis=args, keepdims=True)
+        np.log(logsumexp, out=logsumexp)
+        out = _out(ws, a.shape, a.dtype)
+        np.subtract(s, logsumexp, out=out)
+        return out, out
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        soft = np.exp(saved)
+        parents[0]._accumulate(
+            grad - soft * grad.sum(axis=args, keepdims=True))
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis`` (differentiable, numerically stable)."""
     x = as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - logsumexp
+    return _dispatch(OpLogSoftmax, (x,), axis, x.data)
 
-    def backward(grad: np.ndarray) -> None:
-        soft = np.exp(out_data)
-        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(out_data, (x,), backward)
+class OpDropout:
+    name = "dropout"
+
+    @staticmethod
+    def forward(ws, args, a):
+        p, rng = args
+        # The uniform draw stays float64 (the generator's native stream, so
+        # float32 and float64 models drop the same features), but the mask is
+        # materialised in the input dtype: no silent promotion of the output.
+        if ws is None:
+            keep = rng.random(a.shape) >= p
+            mask = keep.astype(a.dtype)
+        else:
+            draw = _buf(ws, "draw", a.shape, np.float64)
+            rng.random(out=draw)
+            mask = _buf(ws, "mask", a.shape, a.dtype)
+            np.greater_equal(draw, p, out=mask)
+        mask /= (1.0 - p)
+        if ws is None:
+            out = a * mask
+        else:
+            out = _out(ws, a.shape, a.dtype)
+            np.multiply(a, mask, out=out)
+        return out, mask
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        parents[0]._accumulate(grad * saved)
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator,
@@ -324,39 +472,61 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
     x = as_tensor(x)
     if not training or p == 0.0:
         return x
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
-    out_data = x.data * mask
+    return _dispatch(OpDropout, (x,), (p, rng), x.data)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * mask)
 
-    return Tensor._make(out_data, (x,), backward)
+class OpConcat:
+    name = "concat"
+
+    @staticmethod
+    def forward(ws, args, *arrs):
+        axis, splits = args
+        if ws is None:
+            return np.concatenate(arrs, axis=axis), None
+        shape = list(arrs[0].shape)
+        ax = axis % len(shape)
+        shape[ax] = sum(a.shape[ax] for a in arrs)
+        out = _out(ws, tuple(shape), np.result_type(*arrs))
+        np.concatenate(arrs, axis=axis, out=out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        axis, splits = args
+        pieces = np.split(grad, splits, axis=axis)
+        for t, piece in zip(parents, pieces):
+            if t.requires_grad:
+                t._accumulate(piece)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis``."""
-    tensors = [as_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    tensors = tuple(as_tensor(t) for t in tensors)
     sizes = [t.data.shape[axis] for t in tensors]
     splits = np.cumsum(sizes)[:-1]
+    return _dispatch(OpConcat, tensors, (axis, splits),
+                     *(t.data for t in tensors))
 
-    def backward(grad: np.ndarray) -> None:
-        pieces = np.split(grad, splits, axis=axis)
-        for t, piece in zip(tensors, pieces):
+
+class OpStackRows:
+    name = "stack_rows"
+
+    @staticmethod
+    def forward(ws, args, *arrs):
+        if ws is None:
+            return np.stack(arrs, axis=0), None
+        out = _out(ws, (len(arrs),) + arrs[0].shape, np.result_type(*arrs))
+        np.stack(arrs, axis=0, out=out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        for i, t in enumerate(parents):
             if t.requires_grad:
-                t._accumulate(piece)
-
-    return Tensor._make(out_data, tuple(tensors), backward)
+                t._accumulate(grad[i])
 
 
 def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
     """Stack 1-D tensors into a 2-D tensor (axis 0)."""
-    tensors = [as_tensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=0)
-
-    def backward(grad: np.ndarray) -> None:
-        for i, t in enumerate(tensors):
-            if t.requires_grad:
-                t._accumulate(grad[i])
-
-    return Tensor._make(out_data, tuple(tensors), backward)
+    tensors = tuple(as_tensor(t) for t in tensors)
+    return _dispatch(OpStackRows, tensors, None, *(t.data for t in tensors))

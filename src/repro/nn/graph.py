@@ -1,0 +1,485 @@
+"""Static-graph capture: trace one training step, replay it with workspaces.
+
+The dynamic engine in :mod:`repro.nn.tensor` rebuilds one Python closure and
+several fresh NumPy buffers per op per step, and re-derives the backward
+topological order on every ``backward()`` call.  None of that is necessary:
+for a fixed batch signature the op *sequence* of a training step never
+changes, only the data flowing through it.  This module exploits that:
+
+* **Trace** — run one step through the normal dynamic path with a
+  :class:`Tape` active.  Every op dispatch is recorded as a :class:`TapeNode`
+  (op kernel, parent tensors, non-tensor args, output tensor); the backward
+  pass records the exact node processing order once (``backward(order_out=)``).
+* **Replay** — re-run the step's Python code with the tape in replay mode.
+  Each op dispatch is matched against the tape cursor and executed through
+  the *same static kernel* as the dynamic path, but writing into the node's
+  preallocated workspace arena and returning the node's existing output
+  Tensor (data pointer swapped in place).  Zero closures are constructed, no
+  topological sort runs, and steady-state intermediate allocations drop to
+  the few small temporaries the kernels still make.  Backward walks the
+  recorded order calling static backward kernels — bit-identical accumulation
+  order, hence bit-identical gradients.
+
+Shapes are *not* assumed static: FVAE batch shapes are content-dependent
+(candidate-set sizes, flat-index counts), so each node owns flat 1-D slabs
+that grow monotonically and are viewed at the step's exact shape.  Dynamic
+hash-table growth is equally transparent — kernels read ``parent.data`` live,
+so a capacity-doubling rebind between steps just works.
+
+If a replay detects *structural* divergence (a different op sequence, e.g.
+feature dropout emptying a field so its branch is skipped), it raises
+:class:`ReplayMismatch`; :class:`StepCapturer` then restores the model's
+declared RNG streams (``capture_rng_sources()``) to their pre-attempt state
+and re-runs the step dynamically — bit-identical to a never-captured run.
+
+Correctness is enforced three ways in ``repro check``: the
+``nn.graph.replay_vs_dynamic`` differential oracle (exact equality of losses
+and final parameters), the full gradcheck registry run through
+``capture_function`` replay, and golden-digest equality of a captured
+training run against the committed dynamic digests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import tensor as _tensor
+from repro.nn.tensor import GraphError, Tensor
+from repro.obs import runtime as obs
+
+__all__ = ["Tape", "TapeNode", "ReplayMismatch", "GraphError",
+           "StepCapturer", "CapturedFunction", "capture_function",
+           "batch_signature", "active_tape"]
+
+
+class ReplayMismatch(GraphError):
+    """The current step's op sequence diverged from the recorded tape."""
+
+
+def active_tape() -> "Tape | None":
+    """The tape currently tracing or replaying, if any."""
+    return _tensor._ACTIVE_TAPE
+
+
+class _activate:
+    """Install ``tape`` as the engine's active tape for a ``with`` block."""
+
+    def __init__(self, tape: "Tape | None") -> None:
+        self._tape = tape
+
+    def __enter__(self):
+        self._prev = _tensor._ACTIVE_TAPE
+        _tensor._ACTIVE_TAPE = self._tape
+        return self._tape
+
+    def __exit__(self, *exc) -> None:
+        _tensor._ACTIVE_TAPE = self._prev
+
+
+class TapeNode:
+    """One recorded op: kernel, inputs, per-step args, and workspace access.
+
+    The node itself is a thin record; workspace views are carved from the
+    owning tape's per-dtype bump arena (:meth:`Tape.arena_view`), so
+    step-to-step shape variation is tolerated for free — the arena offset
+    resets every replay and the slabs only grow.
+    """
+
+    __slots__ = ("op", "parents", "args", "saved", "out", "requires",
+                 "tape")
+
+    def __init__(self, op, parents: list, args, out: Tensor,
+                 requires: bool, tape: "Tape") -> None:
+        self.op = op
+        self.parents = parents
+        self.args = args
+        self.saved = None
+        self.out = out
+        self.requires = requires
+        self.tape = tape
+
+    # -- workspace protocol (the ``ws`` argument of op kernels) --------------
+    #
+    # Both methods carve from the owning tape's bump arena.  Per-node
+    # dedicated slabs were tried first and *lost* to the dynamic path: they
+    # spread the step's working set over a large, cache-cold footprint,
+    # while glibc recycles the dynamic path's fresh buffers through the same
+    # hot addresses.  A single bump arena reset per step keeps the footprint
+    # as compact (and the addresses as stable) as malloc's free lists, with
+    # zero allocator traffic.
+
+    def out_view(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        return self.tape.arena_view(shape, dtype)
+
+    def buf(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        return self.tape.arena_view(shape, dtype)
+
+
+# Allocation accounting: cheap module-level tallies flushed to the obs
+# registry once per step (per-op obs calls would dominate the replay win).
+_ALLOC_BYTES = 0
+_REUSES = 0
+
+
+def _note_alloc(nbytes: int) -> None:
+    global _ALLOC_BYTES
+    _ALLOC_BYTES += nbytes
+
+
+def _note_reuse() -> None:
+    global _REUSES
+    _REUSES += 1
+
+
+def _flush_alloc_stats(tape: "Tape") -> None:
+    global _ALLOC_BYTES, _REUSES
+    if _REUSES:
+        obs.count("nn.alloc.arena_reuses", _REUSES)
+        _REUSES = 0
+    if _ALLOC_BYTES:
+        obs.count("nn.alloc.workspace_bytes", _ALLOC_BYTES)
+        _ALLOC_BYTES = 0
+        obs.gauge_set("nn.alloc.workspace_bytes_live", tape.workspace_bytes())
+
+
+def _run_node(node: TapeNode, pdata: tuple) -> tuple:
+    """Execute one replayed node's forward kernel.
+
+    Module-level seam so tests can monkeypatch it to corrupt a workspace
+    write and prove the replay-vs-dynamic oracle and captured gradcheck bite.
+    """
+    return node.op.forward(node, node.args, *pdata)
+
+
+class Tape:
+    """A recorded training step: op sequence, backward order, workspaces."""
+
+    def __init__(self, label: str = "step") -> None:
+        self.label = label
+        self.nodes: list[TapeNode] = []
+        self.order: list[TapeNode] = []      # backward processing order
+        self.root: TapeNode | None = None
+        self.index: dict[int, TapeNode] = {}  # id(out tensor) -> node
+        self.replaying = False
+        self.cursor = 0
+        self.replays = 0
+        self._arena: dict = {}      # dtype -> flat slab
+        self._arena_off: dict = {}  # dtype -> bump offset (elements)
+
+    # -- workspace arena ------------------------------------------------------
+
+    def arena_view(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Carve a contiguous ``shape`` view from the step's bump arena.
+
+        One grow-only slab per dtype; the offset resets at ``begin_replay``
+        so every step reuses the same compact address range.  Carves are
+        64-byte aligned.  A mid-step grow leaves earlier carves valid (their
+        views keep the old slab alive) and only redirects later ones.
+        """
+        dtype = np.dtype(dtype)
+        n = math.prod(shape) if shape else 1
+        slab = self._arena.get(dtype)
+        off = self._arena_off.get(dtype, 0)
+        align = (64 // dtype.itemsize) or 1
+        off = -(-off // align) * align
+        need = off + n
+        if slab is None or slab.size < need:
+            size = max(need, 0 if slab is None else 2 * slab.size, 1024)
+            slab = np.empty(size, dtype)
+            self._arena[dtype] = slab
+            _note_alloc(slab.nbytes)
+        else:
+            _note_reuse()
+        self._arena_off[dtype] = need
+        return slab[off:need].reshape(shape)
+
+    # -- recording (trace mode) ----------------------------------------------
+
+    def dispatch(self, op, parents: Sequence[Tensor], args, pdata) -> Tensor:
+        if self.replaying:
+            return self._replay_op(op, parents, args)
+        out_data, saved = op.forward(None, args, *pdata)
+        requires = _tensor._GRAD_ENABLED and \
+            any(p.requires_grad for p in parents)
+        out = Tensor(out_data, requires_grad=requires)
+        node = TapeNode(op, list(parents), args, out, requires, self)
+        node.saved = saved
+        self.nodes.append(node)
+        self.index[id(out)] = node
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = _node_closure(node)
+        return out
+
+    def finalize(self, loss: Tensor, order: list[Tensor]) -> None:
+        """Freeze the tape after the traced step's backward pass."""
+        self.order = [self.index[id(t)] for t in order if id(t) in self.index]
+        root = self.index.get(id(loss))
+        if root is None:
+            raise GraphError("traced loss tensor is not a recorded op output")
+        self.root = root
+
+    # -- replay ---------------------------------------------------------------
+
+    def _replay_op(self, op, parents: Sequence[Tensor], args) -> Tensor:
+        if self.cursor >= len(self.nodes):
+            raise ReplayMismatch(
+                f"step runs more ops than the recorded tape "
+                f"({len(self.nodes)}); op {op.name} has no node")
+        node = self.nodes[self.cursor]
+        if node.op is not op:
+            raise ReplayMismatch(
+                f"op #{self.cursor}: traced {node.op.name}, got {op.name}")
+        self.cursor += 1
+        rec = node.parents
+        if len(rec) != len(parents):
+            raise ReplayMismatch(
+                f"op #{self.cursor - 1} ({op.name}): arity changed")
+        i = 0
+        pdata = []
+        for cur in parents:
+            r = rec[i]
+            if cur is not r:
+                # Fresh leaf tensors (per-step noise, annealed scalars,
+                # detached views) are rebound in place; a *different op
+                # output* in this slot means real structural divergence.
+                if id(r) in self.index or id(cur) in self.index \
+                        or cur.requires_grad != r.requires_grad:
+                    raise ReplayMismatch(
+                        f"op #{self.cursor - 1} ({op.name}): parent {i} "
+                        "changed structurally")
+                rec[i] = cur
+            pdata.append(cur.data)
+            i += 1
+        node.args = args
+        out_data, saved = _run_node(node, pdata)
+        node.saved = saved
+        out = node.out
+        out.data = out_data if isinstance(out_data, np.ndarray) \
+            else np.asarray(out_data)
+        return out
+
+    def begin_replay(self) -> None:
+        self.replaying = True
+        self.cursor = 0
+        for dt in self._arena_off:
+            self._arena_off[dt] = 0
+
+    def end_replay(self, complete: bool) -> None:
+        self.replaying = False
+        if complete and self.cursor != len(self.nodes):
+            raise ReplayMismatch(
+                f"step ran {self.cursor} ops but the tape recorded "
+                f"{len(self.nodes)}")
+
+    def backward(self) -> None:
+        """Replay the recorded backward order with static kernels."""
+        root = self.root
+        if root is None:
+            raise GraphError("tape was never finalized with a backward pass")
+        root.out.grad = np.ones_like(root.out.data)
+        for node in self.order:
+            t = node.out
+            grad = t.grad
+            if grad is None:
+                continue
+            node.op.backward(grad, node.parents, node.saved, node.args)
+            if node is not root:
+                t.grad = None
+        self.replays += 1
+        _flush_alloc_stats(self)
+
+    def workspace_bytes(self) -> int:
+        return sum(slab.nbytes for slab in self._arena.values())
+
+    def __repr__(self) -> str:
+        return (f"Tape({self.label!r}, ops={len(self.nodes)}, "
+                f"replays={self.replays})")
+
+
+def _node_closure(node: TapeNode) -> Callable[[np.ndarray], None]:
+    # Trace-time backward closure: identical arithmetic to the replayed
+    # static call, so the traced step is itself bit-exact dynamic execution.
+    def backward(grad: np.ndarray) -> None:
+        node.op.backward(grad, node.parents, node.saved, node.args)
+    return backward
+
+
+# -- batch signatures ---------------------------------------------------------
+
+def batch_signature(batch, model=None) -> tuple:
+    """A hashable key identifying a batch's captured op sequence.
+
+    Models may override via a ``capture_signature(batch)`` method; the
+    generic fallback keys on the batch length and per-field presence
+    (fields that are absent or empty skip their encoder/decoder branches,
+    changing the op sequence), plus the model's train/eval flag.
+    """
+    if model is not None and hasattr(model, "capture_signature"):
+        return model.capture_signature(batch)
+    sig: list = []
+    users = getattr(batch, "user_ids", None)
+    if users is not None:
+        sig.append(len(users))
+    fields = getattr(batch, "fields", None)
+    if fields is not None:
+        sig.append(tuple(sorted(
+            (name, fb.indices.size > 0) for name, fb in fields.items())))
+    if model is not None:
+        sig.append(bool(getattr(model, "training", True)))
+    return tuple(sig)
+
+
+# -- RNG snapshot for mismatch fallback ---------------------------------------
+
+def _rng_sources(model) -> list:
+    hook = getattr(model, "capture_rng_sources", None)
+    return list(hook()) if hook is not None else []
+
+
+def _snapshot_rngs(gens: list) -> list:
+    return [g.bit_generator.state for g in gens]
+
+
+def _restore_rngs(gens: list, states: list) -> None:
+    for g, state in zip(gens, states):
+        g.bit_generator.state = state
+
+
+# -- the trainer-facing capturer ----------------------------------------------
+
+class StepCapturer:
+    """Signature-keyed cache of :class:`CapturedStep` tapes for a model.
+
+    Usage (what ``Trainer.fit(capture=True)`` does)::
+
+        capturer = StepCapturer(model)
+        loss, diag = capturer.forward(batch, step)
+        capturer.backward(loss)          # trace, replay, or dynamic fallback
+        optimizer.step()                 # unchanged: grads are real either way
+
+    The first step of each new batch signature is *traced* (a fully dynamic,
+    bit-exact run that records the tape); later steps with the same signature
+    *replay*.  A :class:`ReplayMismatch` mid-forward restores the model's
+    declared RNG streams and re-runs the step dynamically, so a fallback step
+    is indistinguishable from a never-captured one.
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self.tapes: dict[tuple, Tape] = {}
+        self.captures = 0
+        self.replays = 0
+        self.fallbacks = 0
+        self._mode: str | None = None
+        self._tape: Tape | None = None
+
+    def forward(self, batch, step: int):
+        sig = batch_signature(batch, self.model)
+        tape = self.tapes.get(sig)
+        if tape is None:
+            return self._trace(sig, batch, step)
+        snapshot = _snapshot_rngs(_rng_sources(self.model))
+        tape.begin_replay()
+        try:
+            with _activate(tape):
+                result = self.model.loss_on_batch(batch, step)
+            tape.end_replay(complete=True)
+        except ReplayMismatch:
+            tape.end_replay(complete=False)
+            return self._fallback(batch, step, snapshot)
+        self._mode, self._tape = "replay", tape
+        self.replays += 1
+        obs.count("nn.graph.replays")
+        return result
+
+    def backward(self, loss: Tensor) -> None:
+        mode, tape = self._mode, self._tape
+        self._mode = self._tape = None
+        if mode == "trace":
+            order: list[Tensor] = []
+            loss.backward(order_out=order)
+            tape.finalize(loss, order)
+        elif mode == "replay":
+            if loss is not tape.root.out:
+                raise GraphError(
+                    "backward() called with a loss that is not the replayed "
+                    "tape's root")
+            tape.backward()
+        else:
+            loss.backward()
+
+    # -- internals ------------------------------------------------------------
+
+    def _trace(self, sig: tuple, batch, step: int):
+        tape = Tape(label=f"sig={sig}")
+        with _activate(tape):
+            result = self.model.loss_on_batch(batch, step)
+        self.tapes[sig] = tape
+        self._mode, self._tape = "trace", tape
+        self.captures += 1
+        obs.count("nn.graph.captures")
+        return result
+
+    def _fallback(self, batch, step: int, snapshot: list):
+        # Growth side effects (hash-table registrations, capacity doubling)
+        # that happened before the mismatch are committed state a dynamic run
+        # would have produced identically; only the declared RNG streams are
+        # rewound so the dynamic re-run draws the same noise.
+        _restore_rngs(_rng_sources(self.model), snapshot)
+        self._mode, self._tape = "dynamic", None
+        self.fallbacks += 1
+        obs.count("nn.graph.fallbacks")
+        obs.count("nn.alloc.dynamic_fallbacks")
+        return self.model.loss_on_batch(batch, step)
+
+    def stats(self) -> dict:
+        return {"captures": self.captures, "replays": self.replays,
+                "fallbacks": self.fallbacks,
+                "workspace_bytes": sum(t.workspace_bytes()
+                                       for t in self.tapes.values())}
+
+
+# -- function capture (gradcheck / oracle harness) ----------------------------
+
+class CapturedFunction:
+    """A traced closure ``fn() -> scalar Tensor`` that can be replayed.
+
+    :func:`capture_function` traces ``fn`` once (forward + backward, fully
+    dynamic) and returns this handle; :meth:`replay` re-executes forward and
+    backward entirely through the tape.  Gradcheck uses it to push every
+    registered op case through the captured path.
+    """
+
+    def __init__(self, fn: Callable[[], Tensor], tape: Tape) -> None:
+        self._fn = fn
+        self.tape = tape
+
+    def replay(self) -> Tensor:
+        self.tape.begin_replay()
+        try:
+            with _activate(self.tape):
+                out = self._fn()
+        except BaseException:
+            self.tape.end_replay(complete=False)
+            raise
+        self.tape.end_replay(complete=True)
+        if out is not self.tape.root.out:
+            raise GraphError("captured function returned a different root "
+                             "tensor on replay")
+        self.tape.backward()
+        return out
+
+
+def capture_function(fn: Callable[[], Tensor]) -> CapturedFunction:
+    """Trace ``fn`` (forward + backward) once and return a replayable handle."""
+    tape = Tape(label="function")
+    with _activate(tape):
+        out = fn()
+    order: list[Tensor] = []
+    out.backward(order_out=order)
+    tape.finalize(out, order)
+    return CapturedFunction(fn, tape)

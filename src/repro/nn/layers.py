@@ -105,6 +105,19 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for '{name}': {param.data.shape} vs {value.shape}")
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place (float32 training mode).
+
+        Gradients and optimizer state built before the cast become stale;
+        call this before constructing the optimizer, as ``Trainer`` does for
+        ``precision="float32"`` runs.
+        """
+        dtype = np.dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != dtype:
+                param.data = param.data.astype(dtype)
+        return self
+
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 

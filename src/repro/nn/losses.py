@@ -34,7 +34,7 @@ def multinomial_nll(log_probs: Tensor, targets: np.ndarray,
     targets = np.asarray(targets)
     if targets.shape != log_probs.shape:
         raise ValueError(f"targets shape {targets.shape} != log_probs shape {log_probs.shape}")
-    total = -(as_tensor(targets) * log_probs).sum()
+    total = -(as_tensor(targets, like=log_probs.data.dtype) * log_probs).sum()
     if reduce_mean:
         total = total * (1.0 / log_probs.shape[0])
     return total
@@ -74,5 +74,5 @@ def gaussian_kl_to(mu_q: Tensor, logvar_q: Tensor,
 
 def mse(pred: Tensor, target: np.ndarray) -> Tensor:
     """Mean squared error (used in tests and small baselines)."""
-    diff = pred - as_tensor(np.asarray(target))
+    diff = pred - as_tensor(np.asarray(target), like=pred.data.dtype)
     return (diff * diff).mean()

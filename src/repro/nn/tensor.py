@@ -16,6 +16,16 @@ autograd engine:
   batched softmax: the cost of one optimizer step is proportional to the
   number of *touched* rows rather than the full feature vocabulary.
 
+Every differentiable operation is expressed as an *op kernel*: a pair of
+static methods ``forward(ws, args, *parent_arrays)`` / ``backward(grad,
+parents, saved, args)`` on a small op class.  The dynamic path wraps a kernel
+call in one closure per op; the static-graph capture layer
+(:mod:`repro.nn.graph`) records the kernel sequence once and replays it with
+preallocated workspaces.  Because both paths run the *same* kernel code, they
+are bit-identical by construction.  ``ws`` is ``None`` on the dynamic path
+(fresh allocations) or a tape node exposing ``out_view``/``buf`` workspace
+views on the replay path.
+
 Only the operations needed by the models in this repository are implemented,
 but each supports full NumPy broadcasting and is exercised by finite-difference
 gradient checks in the test suite.
@@ -29,11 +39,21 @@ import numpy as np
 
 __all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor",
            "inference_mode", "is_inference",
-           "stable_sigmoid", "coalesce_rows"]
+           "stable_sigmoid", "coalesce_rows", "GraphError"]
 
 
 _GRAD_ENABLED = True
 _INFERENCE_MODE = False
+
+#: Active capture tape (or ``None``).  Set exclusively by
+#: :mod:`repro.nn.graph` while tracing or replaying a captured step; every op
+#: dispatch consults it.  Kept here (not in graph.py) so the hot-path check is
+#: a plain module-global load with no cross-module indirection.
+_ACTIVE_TAPE = None
+
+
+class GraphError(RuntimeError):
+    """Raised when static-graph capture cannot represent an operation."""
 
 
 def stable_sigmoid(x: np.ndarray) -> np.ndarray:
@@ -42,7 +62,8 @@ def stable_sigmoid(x: np.ndarray) -> np.ndarray:
     Computed from a single ``exp(-|x|)`` temporary: for ``x >= 0`` this is
     ``1 / (1 + e^-x)``, for ``x < 0`` it is ``e^x / (1 + e^x)`` — both branches
     share the same exponential, so no overflow and no boolean-mask fancy
-    indexing.  Shared by :meth:`Tensor.sigmoid` and
+    indexing.  Dtype-preserving: the Python scalar constants do not upcast
+    float32 inputs under NEP 50.  Shared by :meth:`Tensor.sigmoid` and
     :func:`repro.nn.functional.softplus`'s backward pass.
     """
     x = np.asarray(x)
@@ -105,9 +126,18 @@ class inference_mode:
     :func:`is_inference` and run on plain ``np.ndarray``s — same arithmetic,
     zero wrapper allocation.  Serving-side forwards (proxy ``infer_fn``,
     look-alike expansion) live in this context.
+
+    Entering inference mode *inside a captured region* (while a trace or
+    replay tape is active) raises: the raw-array fast path would bypass op
+    dispatch entirely, silently desynchronising the tape cursor.
     """
 
     def __enter__(self) -> "inference_mode":
+        if _ACTIVE_TAPE is not None:
+            raise GraphError(
+                "inference_mode cannot be entered inside a captured "
+                "(trace/replay) region: the raw-array fast path bypasses op "
+                "dispatch and would desynchronise the tape")
         global _GRAD_ENABLED, _INFERENCE_MODE
         self._prev = (_GRAD_ENABLED, _INFERENCE_MODE)
         _GRAD_ENABLED = False
@@ -139,6 +169,392 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+# -- workspace helpers shared by every op kernel ------------------------------
+
+def _out(ws, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """The op's output buffer: fresh on the dynamic path, arena view on replay."""
+    if ws is None:
+        return np.empty(shape, dtype)
+    return ws.out_view(shape, dtype)
+
+
+def _buf(ws, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """A named scratch buffer that survives until the node's backward runs."""
+    if ws is None:
+        return np.empty(shape, dtype)
+    return ws.buf(key, shape, dtype)
+
+
+def _mm(ws, key: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` into a keyed workspace when both operands are 2-D."""
+    if ws is None or a.ndim != 2 or b.ndim != 2:
+        return a @ b
+    out = ws.buf(key, (a.shape[0], b.shape[1]), np.result_type(a, b))
+    return np.matmul(a, b, out=out)
+
+
+def _reduce_shape(shape: tuple[int, ...], axis, keepdims: bool,
+                  ) -> tuple[int, ...]:
+    """Output shape of ``sum(axis=..., keepdims=...)`` over ``shape``."""
+    if axis is None:
+        return tuple(1 for _ in shape) if keepdims else ()
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    axes = {a % len(shape) for a in axes}
+    if keepdims:
+        return tuple(1 if i in axes else s for i, s in enumerate(shape))
+    return tuple(s for i, s in enumerate(shape) if i not in axes)
+
+
+def _pow_data(a: np.ndarray, e: float, out: np.ndarray) -> np.ndarray:
+    """``a ** e`` into ``out``, replicating ndarray's scalar-power fast paths
+    (square / sqrt / reciprocal / copy) so results stay bit-identical to the
+    allocating ``a ** e`` expression."""
+    if e == 2.0:
+        return np.square(a, out=out)
+    if e == 0.5:
+        return np.sqrt(a, out=out)
+    if e == -1.0:
+        return np.reciprocal(a, out=out)
+    if e == 1.0:
+        return np.positive(a, out=out)
+    return np.power(a, e, out=out)
+
+
+# -- op kernels ---------------------------------------------------------------
+#
+# Each op is a namespace class with two static methods:
+#
+#   forward(ws, args, *parent_arrays) -> (out_data, saved)
+#       ``ws`` is None (dynamic: allocate fresh) or a tape node (replay: write
+#       into reused workspace views).  ``saved`` carries forward-pass values
+#       the backward needs (activation outputs, masks, gathered rows).
+#   backward(grad, parents, saved, args) -> None
+#       Accumulates into ``parents[i].grad`` / sparse parts.  Reads parent
+#       data *live* (``parents[i].data``), so dynamic-hash-table growth
+#       between steps is transparent to a replayed tape.
+#
+# The dynamic path binds one closure per op call around these kernels; the
+# capture layer stores (op, parents, args) once and calls the statics.
+
+class OpAdd:
+    name = "add"
+
+    @staticmethod
+    def forward(ws, args, a, b):
+        out = _out(ws, np.broadcast_shapes(a.shape, b.shape),
+                   np.result_type(a, b))
+        np.add(a, b, out=out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p0, p1 = parents
+        if p0.requires_grad:
+            p0._accumulate(_unbroadcast(grad, p0.data.shape))
+        if p1.requires_grad:
+            p1._accumulate(_unbroadcast(grad, p1.data.shape))
+
+
+class OpNeg:
+    name = "neg"
+
+    @staticmethod
+    def forward(ws, args, a):
+        out = _out(ws, a.shape, a.dtype)
+        np.negative(a, out=out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        parents[0]._accumulate(-grad)
+
+
+class OpMul:
+    name = "mul"
+
+    @staticmethod
+    def forward(ws, args, a, b):
+        out = _out(ws, np.broadcast_shapes(a.shape, b.shape),
+                   np.result_type(a, b))
+        np.multiply(a, b, out=out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p0, p1 = parents
+        if p0.requires_grad:
+            p0._accumulate(_unbroadcast(grad * p1.data, p0.data.shape))
+        if p1.requires_grad:
+            p1._accumulate(_unbroadcast(grad * p0.data, p1.data.shape))
+
+
+class OpDiv:
+    name = "div"
+
+    @staticmethod
+    def forward(ws, args, a, b):
+        out = _out(ws, np.broadcast_shapes(a.shape, b.shape),
+                   np.result_type(a, b))
+        np.divide(a, b, out=out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p0, p1 = parents
+        if p0.requires_grad:
+            p0._accumulate(_unbroadcast(grad / p1.data, p0.data.shape))
+        if p1.requires_grad:
+            p1._accumulate(_unbroadcast(-grad * p0.data / (p1.data ** 2),
+                                        p1.data.shape))
+
+
+class OpPow:
+    name = "pow"
+
+    @staticmethod
+    def forward(ws, args, a):
+        if ws is None:
+            return a ** args, None
+        out = _out(ws, a.shape, a.dtype)
+        _pow_data(a, args, out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p = parents[0]
+        p._accumulate(grad * args * p.data ** (args - 1))
+
+
+class OpMatmul:
+    name = "matmul"
+
+    @staticmethod
+    def forward(ws, args, a, b):
+        if ws is not None and a.ndim == 2 and b.ndim == 2:
+            out = _out(ws, (a.shape[0], b.shape[1]), np.result_type(a, b))
+            np.matmul(a, b, out=out)
+            return out, ws
+        return a @ b, ws
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p0, p1 = parents
+        a, b = p0.data, p1.data
+        ws = saved                              # tape node or None
+        if p0.requires_grad:
+            if a.ndim == 1 and b.ndim == 1:      # dot -> scalar
+                ga = grad * b
+            elif a.ndim == 1:                     # vector @ matrix -> vector
+                ga = grad @ b.T
+            elif b.ndim == 1:                     # matrix @ vector -> vector
+                ga = np.outer(grad, b)
+            else:                                 # matrix @ matrix
+                ga = _mm(ws, "ga", grad, b.T)
+            p0._accumulate(ga)
+        if p1.requires_grad:
+            if a.ndim == 1 and b.ndim == 1:
+                gb = grad * a
+            elif a.ndim == 1:
+                gb = np.outer(a, grad)
+            elif b.ndim == 1:
+                gb = a.T @ grad
+            else:
+                gb = _mm(ws, "gb", a.T, grad)
+            p1._accumulate(gb)
+
+
+class OpReshape:
+    name = "reshape"
+
+    @staticmethod
+    def forward(ws, args, a):
+        return a.reshape(args), None            # view: no workspace needed
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p = parents[0]
+        p._accumulate(grad.reshape(p.data.shape))
+
+
+class OpTranspose:
+    name = "T"
+
+    @staticmethod
+    def forward(ws, args, a):
+        return a.T, None                        # view: no workspace needed
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        parents[0]._accumulate(grad.T)
+
+
+class OpGetitem:
+    name = "getitem"
+
+    @staticmethod
+    def forward(ws, args, a):
+        return a[args], None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p = parents[0]
+        key = args
+        if isinstance(p, Parameter) and not p.sparse \
+                and isinstance(key, np.ndarray) \
+                and np.issubdtype(key.dtype, np.integer) and key.ndim == 1:
+            p.scatter_add_grad(key, grad)
+            return
+        full = np.zeros_like(p.data)
+        np.add.at(full, key, grad)
+        p._accumulate(full)
+
+
+class OpSum:
+    name = "sum"
+
+    @staticmethod
+    def forward(ws, args, a):
+        axis, keepdims = args
+        if ws is None:
+            return a.sum(axis=axis, keepdims=keepdims), None
+        out = _out(ws, _reduce_shape(a.shape, axis, keepdims), a.dtype)
+        np.sum(a, axis=axis, out=out, keepdims=keepdims)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        axis, keepdims = args
+        p = parents[0]
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        p._accumulate(np.broadcast_to(g, p.data.shape).copy())
+
+
+class OpExp:
+    name = "exp"
+
+    @staticmethod
+    def forward(ws, args, a):
+        out = _out(ws, a.shape, a.dtype)
+        np.exp(a, out=out)
+        return out, out
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        parents[0]._accumulate(grad * saved)
+
+
+class OpLog:
+    name = "log"
+
+    @staticmethod
+    def forward(ws, args, a):
+        out = _out(ws, a.shape, a.dtype)
+        np.log(a, out=out)
+        return out, None
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        p = parents[0]
+        p._accumulate(grad / p.data)
+
+
+class OpTanh:
+    name = "tanh"
+
+    @staticmethod
+    def forward(ws, args, a):
+        out = _out(ws, a.shape, a.dtype)
+        np.tanh(a, out=out)
+        return out, out
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        parents[0]._accumulate(grad * (1.0 - saved ** 2))
+
+
+class OpSigmoid:
+    name = "sigmoid"
+
+    @staticmethod
+    def forward(ws, args, a):
+        out = stable_sigmoid(a)                 # np.where output: fresh array
+        return out, out
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        parents[0]._accumulate(grad * saved * (1.0 - saved))
+
+
+class OpRelu:
+    name = "relu"
+
+    @staticmethod
+    def forward(ws, args, a):
+        if ws is None:
+            mask = a > 0
+            return a * mask, mask
+        mask = _buf(ws, "mask", a.shape, np.bool_)
+        np.greater(a, 0, out=mask)
+        out = _out(ws, a.shape, a.dtype)
+        np.multiply(a, mask, out=out)
+        return out, mask
+
+    @staticmethod
+    def backward(grad, parents, saved, args):
+        parents[0]._accumulate(grad * saved)
+
+
+# -- dispatch -----------------------------------------------------------------
+
+def _op_closure(op, parents, saved, args) -> Callable[[np.ndarray], None]:
+    def backward(grad: np.ndarray) -> None:
+        op.backward(grad, parents, saved, args)
+    return backward
+
+
+def _dispatch(op, parents: tuple, args, *pdata) -> "Tensor":
+    """Run an op kernel: dynamically, or through the active capture tape.
+
+    ``parents`` are the input Tensors, ``args`` the op's non-tensor arguments
+    (index arrays, axes, exponents...), ``pdata`` the parents' arrays.  On the
+    dynamic path this builds exactly one closure; while a tape is active the
+    call is recorded (trace) or matched against the tape cursor and executed
+    into preallocated workspaces (replay) — see :mod:`repro.nn.graph`.
+    """
+    tape = _ACTIVE_TAPE
+    if tape is not None:
+        return tape.dispatch(op, parents, args, pdata)
+    out_data, saved = op.forward(None, args, *pdata)
+    requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires)
+    if requires:
+        out._parents = parents
+        out._backward = _op_closure(op, parents, saved, args)
+    return out
+
+
+def _topo_order(root: "Tensor") -> list["Tensor"]:
+    """Iterative DFS topological order of the graph below ``root``."""
+    topo: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+    return topo
+
+
 class Tensor:
     """A NumPy array plus the autograd bookkeeping to differentiate through it.
 
@@ -152,6 +568,12 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    # Make ``ndarray <op> Tensor`` defer to our reflected operators instead
+    # of numpy's sequence-iteration fallback, which would silently build an
+    # object array of per-element getitem ops (wrong dtype, O(numel) graph
+    # nodes, and an op sequence the static tape cannot replay).
+    __array_priority__ = 100
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None) -> None:
         if isinstance(data, Tensor):
@@ -171,7 +593,17 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Build a non-leaf tensor, recording the graph only when needed."""
+        """Build a non-leaf tensor from an ad-hoc closure (legacy/test hook).
+
+        Library ops go through :func:`_dispatch` with static kernels; this
+        remains for tests that monkeypatch ops with handwritten closures.
+        Such ops carry no replayable kernel, so they refuse to run while a
+        capture tape is active rather than silently desynchronising it.
+        """
+        if _ACTIVE_TAPE is not None:
+            raise GraphError(
+                "Tensor._make closures cannot be captured; define a static "
+                "op kernel and dispatch it instead")
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
@@ -225,11 +657,15 @@ class Tensor:
         else:
             self.grad = self.grad + grad
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None,
+                 order_out: list | None = None) -> None:
         """Backpropagate from this tensor.
 
         ``grad`` defaults to 1 for scalar outputs; non-scalar outputs require
-        an explicit seed gradient of matching shape.
+        an explicit seed gradient of matching shape.  ``order_out``, when
+        given, collects every tensor whose backward actually ran, in
+        processing order — the capture tape records this once at trace time
+        and replays it without re-deriving the topological sort.
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
@@ -242,26 +678,14 @@ class Tensor:
             if grad.shape != self.data.shape:
                 raise ValueError(f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}")
 
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if parent.requires_grad and id(parent) not in visited:
-                    stack.append((parent, False))
+        topo = _topo_order(self)
 
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                if order_out is not None:
+                    order_out.append(node)
                 # Free intermediate gradients and graph references eagerly:
                 # leaves (parameters / inputs) keep their grads.
                 node._backward = None
@@ -274,150 +698,62 @@ class Tensor:
     # -- arithmetic --------------------------------------------------------
 
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        other = as_tensor(other, like=self.data.dtype)
+        return _dispatch(OpAdd, (self, other), None, self.data, other.data)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
-
-        return Tensor._make(-self.data, (self,), backward)
+        return _dispatch(OpNeg, (self,), None, self.data)
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-as_tensor(other, like=self.data.dtype))
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return as_tensor(other, like=self.data.dtype) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        other = as_tensor(other, like=self.data.dtype)
+        return _dispatch(OpMul, (self, other), None, self.data, other.data)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        other = as_tensor(other, like=self.data.dtype)
+        return _dispatch(OpDiv, (self, other), None, self.data, other.data)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other) / self
+        return as_tensor(other, like=self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log instead")
-        out_data = self.data ** exponent
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpPow, (self,), exponent, self.data)
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
-        a, b = self.data, other.data
-        if a.ndim > 2 or b.ndim > 2:
+        if self.data.ndim > 2 or other.data.ndim > 2:
             raise ValueError("matmul supports 1-D and 2-D operands only")
-        out_data = a @ b
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                if a.ndim == 1 and b.ndim == 1:      # dot -> scalar
-                    ga = grad * b
-                elif a.ndim == 1:                     # vector @ matrix -> vector
-                    ga = grad @ b.T
-                elif b.ndim == 1:                     # matrix @ vector -> vector
-                    ga = np.outer(grad, b)
-                else:                                 # matrix @ matrix
-                    ga = grad @ b.T
-                self._accumulate(ga)
-            if other.requires_grad:
-                if a.ndim == 1 and b.ndim == 1:
-                    gb = grad * a
-                elif a.ndim == 1:
-                    gb = np.outer(a, grad)
-                elif b.ndim == 1:
-                    gb = a.T @ grad
-                else:
-                    gb = a.T @ grad
-                other._accumulate(gb)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return _dispatch(OpMatmul, (self, other), None, self.data, other.data)
 
     # -- shape ops ---------------------------------------------------------
 
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
-        in_shape = self.shape
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(in_shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpReshape, (self,), shape, self.data)
 
     @property
     def T(self) -> "Tensor":
-        out_data = self.data.T
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.T)
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpTranspose, (self,), None, self.data)
 
     def __getitem__(self, key) -> "Tensor":
-        out_data = self.data[key]
-
-        def backward(grad: np.ndarray) -> None:
-            if isinstance(self, Parameter) and not self.sparse \
-                    and isinstance(key, np.ndarray) \
-                    and np.issubdtype(key.dtype, np.integer) and key.ndim == 1:
-                self.scatter_add_grad(key, grad)
-                return
-            full = np.zeros_like(self.data)
-            np.add.at(full, key, grad)
-            self._accumulate(full)
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpGetitem, (self,), key, self.data)
 
     # -- reductions ----------------------------------------------------------
 
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            g = grad
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpSum, (self,), (axis, keepdims), self.data)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -430,48 +766,22 @@ class Tensor:
     # -- elementwise nonlinearities -------------------------------------------
 
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpExp, (self,), None, self.data)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpLog, (self,), None, self.data)
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data ** 2))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpTanh, (self,), None, self.data)
 
     def sigmoid(self) -> "Tensor":
-        out_data = stable_sigmoid(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data * (1.0 - out_data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpSigmoid, (self,), None, self.data)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return Tensor._make(out_data, (self,), backward)
+        return _dispatch(OpRelu, (self,), None, self.data)
 
 
 class Parameter(Tensor):
@@ -584,6 +894,21 @@ class Parameter(Tensor):
         return f"Parameter{tag}(shape={self.shape}{sparse})"
 
 
-def as_tensor(value) -> Tensor:
-    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
-    return value if isinstance(value, Tensor) else Tensor(value)
+def as_tensor(value, like=None) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one).
+
+    ``like`` is a dtype hint honoured only by *dtype-free* operands — Python
+    scalars and integer arrays adopt it instead of the float64 default, so
+    float32 tensors survive arithmetic with literal constants without
+    upcasting.  Operands that already carry a floating dtype keep it.
+    """
+    if isinstance(value, Tensor):
+        return value
+    if like is not None:
+        if isinstance(value, (bool, int, float)):
+            return Tensor(np.asarray(value, dtype=like))
+        arr = np.asarray(value)
+        if not np.issubdtype(arr.dtype, np.floating):
+            return Tensor(arr.astype(like))
+        return Tensor(arr)
+    return Tensor(value)

@@ -3,13 +3,14 @@
 Times the hot-path operations the perf layer optimizes — embedding-bag
 forward/backward, the fused sampled-softmax kernel forward/backward (against
 its unfused reference), the row-sparse optimizer step — plus end-to-end epoch
-throughput on the ``make_kd_like`` preset, fused+prefetch vs unfused+sync.
+throughput on the ``make_kd_like`` preset: fused+prefetch vs unfused+sync,
+and static-graph capture (float64 parity + float32 mode) vs the dynamic path.
 
-Results are written as JSON (``benchmarks/results/BENCH_PR3.json`` by
+Results are written as JSON (``benchmarks/results/BENCH_PR8.json`` by
 default) with one record per op: ``{"op", "p50_ms", "p95_ms"}`` for micro
 ops and ``{"op", "users_per_sec"}`` for the epoch runs, so every future PR
 has a trajectory to compare against (``scripts/bench_check.py`` guards the
-fused/unfused speedup ratio in CI).
+fused/unfused and capture speedup ratios in CI).
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ from repro.utils.rng import new_rng
 
 __all__ = ["run_bench", "DEFAULT_OUTPUT", "SERVING_OUTPUT"]
 
-DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_PR3.json")
+DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_PR8.json")
 SERVING_OUTPUT = Path("benchmarks/results/BENCH_PR5.json")
 
 
@@ -160,14 +161,60 @@ def bench_epoch_throughput(n_users: int, seed: int, epochs: int,
     return results
 
 
+def bench_capture_throughput(n_users: int, seed: int, epochs: int,
+                             ) -> list[dict]:
+    """Static-graph capture vs the dynamic path, fused+prefetch throughout.
+
+    Three runs of the same model/data/loader configuration:
+
+    * ``epoch_dynamic_f64`` — the PR-3 baseline (dynamic autograd, float64);
+    * ``epoch_captured_f64`` — same arithmetic through the static tape; its
+      ratio (``capture_speedup_exact``) is the *parity guard*: the bit-exact
+      replay must not cost throughput;
+    * ``epoch_captured_f32`` — the float32-throughout mode riding the same
+      tape; its ratio over the float64 baseline is the headline
+      ``capture_speedup`` that ``scripts/bench_check.py`` gates at >= 1.5x.
+    """
+    from repro.core import FVAE, FVAEConfig
+    from repro.data.loaders import make_kd_like
+    from repro.perf.pipeline import PrefetchLoader
+
+    synthetic = make_kd_like(n_users=n_users, seed=seed)
+    config = FVAEConfig(latent_dim=64, encoder_hidden=[256],
+                        decoder_hidden=[256], seed=seed, fused=True)
+
+    def run(label: str, **fit_kwargs) -> dict:
+        model = FVAE(synthetic.dataset.schema, config)
+        model.fit(synthetic.dataset, epochs=epochs, batch_size=256, lr=1e-3,
+                  loader=PrefetchLoader(), **fit_kwargs)
+        return {"op": label, "users_per_sec": float(model.history.throughput),
+                "n_users": n_users, "epochs": epochs}
+
+    dyn = run("epoch_dynamic_f64")
+    cap64 = run("epoch_captured_f64", capture=True)
+    cap32 = run("epoch_captured_f32", capture=True, precision="float32")
+    return [
+        dyn, cap64, cap32,
+        {"op": "capture_speedup_exact",
+         "ratio": float(cap64["users_per_sec"] / dyn["users_per_sec"]),
+         "note": "captured float64 vs dynamic float64 (bit-exact replay "
+                 "parity guard)"},
+        {"op": "capture_speedup",
+         "ratio": float(cap32["users_per_sec"] / dyn["users_per_sec"]),
+         "note": "captured float32-throughout vs the dynamic float64 "
+                 "fused+prefetch baseline (headline gate, >= 1.5x)"},
+    ]
+
+
 def run_bench(quick: bool = False, out: str | Path | None = None,
               users: int | None = None, seed: int = 0,
               suite: str = "training") -> dict:
     """Run every benchmark stage and write the JSON trajectory to ``out``.
 
-    ``suite="training"`` (default) runs the PR 3 hot-path stages and writes
-    ``BENCH_PR3.json``; ``suite="serving"`` runs the serving fast-path stages
-    (:mod:`repro.perf.bench_serving`) and writes ``BENCH_PR5.json``.
+    ``suite="training"`` (default) runs the PR-3 hot-path stages plus the
+    PR-8 capture stage and writes ``BENCH_PR8.json``; ``suite="serving"``
+    runs the serving fast-path stages (:mod:`repro.perf.bench_serving`) and
+    writes ``BENCH_PR5.json``.
     """
     if suite not in ("training", "serving"):
         raise ValueError(f"unknown bench suite '{suite}'")
@@ -186,6 +233,8 @@ def run_bench(quick: bool = False, out: str | Path | None = None,
             ("optimizer_step", lambda: bench_optimizer_step(rng, repeats)),
             ("epoch_throughput",
              lambda: bench_epoch_throughput(n_users, seed, epochs)),
+            ("capture_throughput",
+             lambda: bench_capture_throughput(n_users, seed, epochs)),
         ]
     else:
         from repro.perf.bench_serving import serving_stages
@@ -198,7 +247,7 @@ def run_bench(quick: bool = False, out: str | Path | None = None,
 
     report = {
         "meta": {
-            "bench": "PR3" if suite == "training" else "PR5",
+            "bench": "PR8" if suite == "training" else "PR5",
             "suite": suite,
             "quick": quick,
             "users": n_users,

@@ -119,7 +119,7 @@ class TestBenchHarness:
 
         on_disk = json.loads(out.read_text())
         assert on_disk == report
-        assert report["meta"]["bench"] == "PR3"
+        assert report["meta"]["bench"] == "PR8"
         assert report["meta"]["quick"] is True
 
         ops = {r["op"] for r in report["results"]}
@@ -127,7 +127,9 @@ class TestBenchHarness:
                 "sampled_softmax_fused_fwd", "sampled_softmax_fused_fwd_bwd",
                 "sampled_softmax_unfused_fwd_bwd", "adam_sparse_step",
                 "epoch_unfused_sync", "epoch_fused_prefetch",
-                "epoch_speedup"} <= ops
+                "epoch_speedup", "epoch_dynamic_f64", "epoch_captured_f64",
+                "epoch_captured_f32", "capture_speedup",
+                "capture_speedup_exact"} <= ops
         for record in report["results"]:
             if "p50_ms" in record:
                 assert 0.0 < record["p50_ms"] <= record["p95_ms"]
