@@ -46,6 +46,17 @@ when both reports were measured at the same workload size (same
 ``meta.quick`` flag): the quick CI smoke probes a 2k-vector index while the
 committed baseline uses 10k vectors, and those ratios are not comparable.
 
+``sharded`` (``BENCH_PR9.json``):
+
+* ``sharded_critical_path_speedup_w4`` — the 4-worker critical path
+  (``serial + max worker-CPU + max shard-apply-CPU`` per step) vs one
+  worker; must hold ≥1.6x (scaled by the tolerance).  CPU-time based, so it
+  gates on any machine regardless of core count.
+* ``sharded_wall_speedup_w4`` — real wall-clock scaling; only gated when
+  the report's ``meta.cores`` covers the 4-worker cluster (workers
+  time-slice fewer cores, making wall-clock scaling physically impossible
+  — the honest-numbers convention of docs/PERFORMANCE.md).
+
 Exit code 0 on pass, 1 on regression (messages on stderr).
 """
 
@@ -66,6 +77,12 @@ SERVING_FLOORS = {"serving_batch_speedup": 3.0, "lsh_batch_speedup": 2.0}
 #: epoch throughput over the dynamic float64 fused+prefetch baseline, and the
 #: bit-exact float64 replay stays at parity (>= 1.0, tolerance-scaled).
 CAPTURE_FLOORS = {"capture_speedup": 1.5, "capture_speedup_exact": 1.0}
+
+#: The sharded parameter-server promise: 4 workers deliver >= 1.6x epoch
+#: throughput over 1 on the critical path; wall-clock must match whenever
+#: the machine actually has the cores.
+SHARDED_FLOOR = 1.6
+SHARDED_WORKERS = 4
 
 
 def _records(report: dict) -> dict[str, dict]:
@@ -180,6 +197,40 @@ def check_serving(current: dict, baseline: dict | None,
     return failures
 
 
+def check_sharded(current: dict, baseline: dict | None,
+                  tolerance: float) -> list[str]:
+    failures: list[str] = []
+    scale = 1.0 - tolerance
+    floor = SHARDED_FLOOR * scale
+    w = SHARDED_WORKERS
+
+    crit = _ratio(current, f"sharded_critical_path_speedup_w{w}")
+    if crit < floor:
+        failures.append(
+            f"sharded_critical_path_speedup_w{w} {crit:.3f} < {floor:.3f}: "
+            f"{w} workers no longer hold the promised {SHARDED_FLOOR:.1f}x "
+            "critical-path scaling over one worker")
+
+    cores = current.get("meta", {}).get("cores") or 0
+    if cores >= w:
+        wall = _ratio(current, f"sharded_wall_speedup_w{w}")
+        if wall < floor:
+            failures.append(
+                f"sharded_wall_speedup_w{w} {wall:.3f} < {floor:.3f} on a "
+                f"{cores}-core machine: wall-clock scaling should match the "
+                "critical path when the cores are there")
+
+    comparable = baseline is not None and \
+        _is_quick(current) == _is_quick(baseline)
+    if comparable:
+        base = _ratio(baseline, f"sharded_critical_path_speedup_w{w}")
+        if crit < base * scale:
+            failures.append(
+                f"sharded_critical_path_speedup_w{w} {crit:.3f} regressed "
+                f"more than {tolerance:.0%} vs baseline {base:.3f}")
+    return failures
+
+
 def check(current: dict, baseline: dict | None, tolerance: float,
           ) -> list[str]:
     """Return a list of regression messages (empty means the gate passes)."""
@@ -190,6 +241,8 @@ def check(current: dict, baseline: dict | None, tolerance: float,
             f"'{_suite(baseline)}' — compare like with like")
     if suite == "serving":
         return check_serving(current, baseline, tolerance)
+    if suite == "sharded":
+        return check_sharded(current, baseline, tolerance)
     return check_training(current, baseline, tolerance)
 
 
@@ -197,6 +250,15 @@ def _summary(report: dict) -> str:
     if _suite(report) == "serving":
         return " ".join(f"{op}={_ratio(report, op):.3f}"
                         for op in SERVING_FLOORS)
+    if _suite(report) == "sharded":
+        w = SHARDED_WORKERS
+        return (f"critical_path_w{w}="
+                f"{_ratio(report, f'sharded_critical_path_speedup_w{w}'):.3f}"
+                f" wall_w{w}="
+                f"{_ratio(report, f'sharded_wall_speedup_w{w}'):.3f}"
+                f" simulated_w{w}="
+                f"{_ratio(report, f'simulated_speedup_w{w}'):.3f}"
+                f" cores={report.get('meta', {}).get('cores')}")
     return (f"epoch_speedup={_epoch_speedup(report):.3f} "
             f"kernel_ratio={_kernel_ratio(report):.3f} "
             + " ".join(f"{op}={_ratio(report, op):.3f}"

@@ -439,3 +439,77 @@ def _oracle_encoder_inference(rng: np.random.Generator) -> Pairs:
     mu_t, logvar_t = model.encode_batch(batch, inference=False)
     mu_a, logvar_a = model.encode_batch(batch, inference=True)
     return {"mu": (mu_t, mu_a), "logvar": (logvar_t, logvar_a)}
+
+
+@register_oracle("distributed.sharded_vs_single_process", exact=False,
+                 rtol=1e-12, atol=1e-12,
+                 description="one epoch on the real multi-process sharded "
+                             "parameter server vs the single-process "
+                             "Trainer.fit reference (equal up to float "
+                             "summation order across workers)")
+def _oracle_sharded_trainer(rng: np.random.Generator) -> Pairs:
+    from repro.core import FVAE, FVAEConfig
+    from repro.core.trainer import Trainer
+    from repro.data import make_kd_like
+    from repro.distributed.sharded import ShardedTrainer
+
+    seed = int(rng.integers(0, 2 ** 31))
+
+    def build():
+        data = make_kd_like(n_users=48, seed=seed)
+        config = FVAEConfig(latent_dim=8, encoder_hidden=[16],
+                            decoder_hidden=[16], input_dropout=0.0,
+                            feature_dropout=0.0, seed=seed)
+        model = FVAE(data.dataset.schema, config)
+        model.initialize_from_dataset(data.dataset)
+        return model, data.dataset
+
+    ref_model, ref_data = build()
+    ref_hist = Trainer(ref_model, lr=1e-3).fit(ref_data, epochs=1,
+                                               batch_size=16, rng=seed)
+    sh_model, sh_data = build()
+    sh_hist = ShardedTrainer(sh_model, n_workers=2, lr=1e-3).fit(
+        sh_data, epochs=1, batch_size=16, rng=seed)
+
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]] = {
+        "epoch_losses": (np.asarray([r.loss for r in ref_hist.epochs]),
+                         np.asarray([r.loss for r in sh_hist.epochs]))}
+    ref_state, sh_state = ref_model.state_dict(), sh_model.state_dict()
+    for name in ref_state:
+        pairs[f"param.{name}"] = (ref_state[name], sh_state[name])
+    return pairs
+
+
+@register_oracle("distributed.sharded_serving_vs_store",
+                 description="sharded embedding service (real shard-server "
+                             "processes, zero-IPC reads) vs the in-process "
+                             "EmbeddingStore (bit-exact lookups)")
+def _oracle_sharded_serving(rng: np.random.Generator) -> Pairs:
+    from repro.distributed.sharded import ShardedEmbeddingService
+    from repro.lookalike.store import EmbeddingStore
+
+    dim, n = 16, 60
+    keys = [f"user_{i}" for i in rng.permutation(200)[:n]]
+    matrix = rng.standard_normal((n, dim))
+    probes = keys[::3] + ["missing_a", "missing_b"] + keys[1::7]
+
+    ref = EmbeddingStore(dim=dim)
+    ref.put_many(keys, matrix)
+    ref_batch, ref_mask = ref.get_batch(probes)
+
+    with ShardedEmbeddingService(dim=dim, n_shards=3,
+                                 capacity_per_shard=n) as svc:
+        svc.put_many(keys, matrix)
+        svc_batch, svc_mask = svc.get_batch(probes)
+        svc_keys, svc_matrix = svc.as_matrix()
+        ref_keys, ref_matrix = ref.as_matrix()
+        pairs = {
+            "batch": (ref_batch, svc_batch),
+            "found_mask": (ref_mask, svc_mask),
+            "rows_for": (ref.rows_for(probes), svc.rows_for(probes)),
+            "matrix": (ref_matrix, svc_matrix),
+            "key_order": (np.asarray([k == r for k, r in
+                                      zip(ref_keys, svc_keys)]),
+                          np.ones(len(ref_keys), dtype=bool)),
+        }
+    return pairs

@@ -109,15 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_microbench.add_argument("--out", default=None, metavar="PATH",
                               help="output JSON path (default: "
                                    "benchmarks/results/BENCH_PR8.json for "
-                                   "training, BENCH_PR5.json for serving)")
+                                   "training, BENCH_PR5.json for serving, "
+                                   "BENCH_PR9.json for sharded)")
     p_microbench.add_argument("--users", type=int, default=None,
                               help="override the epoch-throughput preset size")
     p_microbench.add_argument("--seed", type=int, default=0)
-    p_microbench.add_argument("--suite", choices=("training", "serving"),
+    p_microbench.add_argument("--suite",
+                              choices=("training", "serving", "sharded"),
                               default="training",
                               help="training: PR 3 hot-path stages; serving: "
                                    "batched lookup / LSH / inference-forward "
-                                   "/ cold-start stages")
+                                   "/ cold-start stages; sharded: real "
+                                   "multi-process PS scaling vs simulator")
 
     p_faults = sub.add_parser(
         "faults", help="fault-injected distributed training: recovery "
@@ -379,11 +382,13 @@ def _cmd_benchmark(args, out) -> int:
 
 def _cmd_bench(args, out) -> int:
     from repro.perf import run_bench
-    from repro.perf.bench import DEFAULT_OUTPUT, SERVING_OUTPUT, render_report
+    from repro.perf.bench import (DEFAULT_OUTPUT, SERVING_OUTPUT,
+                                  SHARDED_OUTPUT, render_report)
 
     suite = getattr(args, "suite", "training")
-    path = args.out or (DEFAULT_OUTPUT if suite == "training"
-                        else SERVING_OUTPUT)
+    path = args.out or {"training": DEFAULT_OUTPUT,
+                        "serving": SERVING_OUTPUT,
+                        "sharded": SHARDED_OUTPUT}[suite]
     report = run_bench(quick=args.quick, out=path, users=args.users,
                        seed=args.seed, suite=suite)
     print(render_report(report), file=out)

@@ -98,14 +98,23 @@ class FVAE(Module, UserRepresentationModel):
                 sources.append(rng)
         return sources
 
-    def reparameterize(self, mu: Tensor, logvar: Tensor, sample: bool) -> Tensor:
-        """``z = μ + σ·ε`` with ``ε ~ N(0, I)`` (the reparametrisation trick)."""
+    def reparameterize(self, mu: Tensor, logvar: Tensor, sample: bool,
+                       noise: np.ndarray | None = None) -> Tensor:
+        """``z = μ + σ·ε`` with ``ε ~ N(0, I)`` (the reparametrisation trick).
+
+        ``noise`` injects a pre-drawn ``ε`` instead of consuming ``self._rng``
+        — the sharded trainer draws the noise driver-side (in reference
+        order) and ships each worker its slice, so worker processes touch no
+        RNG at all.
+        """
         if not sample:
             return mu
-        # float64 draw regardless of model dtype: the noise stream (and its
-        # consumption order) is part of the run's determinism contract.
-        eps = self._rng.standard_normal(mu.shape).astype(mu.data.dtype,
-                                                         copy=False)
+        if noise is None:
+            # float64 draw regardless of model dtype: the noise stream (and
+            # its consumption order) is part of the run's determinism
+            # contract.
+            noise = self._rng.standard_normal(mu.shape)
+        eps = noise.astype(mu.data.dtype, copy=False)
         return mu + (logvar * 0.5).exp() * Tensor(eps)
 
     def _field_candidates(self, batch: UserBatch) -> dict[str, np.ndarray]:
@@ -126,40 +135,55 @@ class FVAE(Module, UserRepresentationModel):
                                                field=spec.name)
         return out
 
-    def elbo_components(self, batch: UserBatch, beta: float | None = None,
+    def elbo_components(self, batch: UserBatch, beta: float | None = None, *,
+                        candidates: dict[str, np.ndarray] | None = None,
+                        noise: np.ndarray | None = None,
+                        recon_scale: float | None = None,
+                        kl_weight: float = 1.0,
                         ) -> tuple[Tensor, dict[str, float]]:
         """Negative ELBO (Eq. 7) for one batch, plus scalar diagnostics.
 
         The encoder forward pass inserts any new feature ids into the dynamic
         hash tables (training mode), so the decoder candidate lookup below is
         guaranteed to find a row for every batch feature.
+
+        The keyword-only hooks exist for the sharded data-parallel trainer,
+        which computes this loss on a *slice* of a global batch: it injects
+        the driver-drawn ``candidates`` and ``noise`` (so workers consume no
+        RNG), scales reconstruction by the *global* batch size via
+        ``recon_scale``, and weighs the (batch-mean) KL by the slice's share
+        of the global batch via ``kl_weight``.  With all four left at their
+        defaults the computation is bit-identical to the original
+        single-process loss.
         """
         if beta is None:
             beta = self.beta_schedule(self._step)
         mu, logvar = self.encoder(batch)
-        z = self.reparameterize(mu, logvar, sample=self.training)
+        z = self.reparameterize(mu, logvar, sample=self.training, noise=noise)
         trunk = self.decoder.trunk(z)
 
-        n_users = batch.n_users
+        scale = 1.0 / batch.n_users if recon_scale is None else recon_scale
+        if candidates is None:
+            candidates = self._field_candidates(batch)
         recon_terms: list[tuple[float, Tensor]] = []
         diagnostics: dict[str, float] = {}
-        for field, candidates in self._field_candidates(batch).items():
+        for field, cand in candidates.items():
             table = self.encoder.bag(field).table
-            rows = table.rows_for_ids(candidates)
+            rows = table.rows_for_ids(cand)
             known = rows >= 0
             if not known.all():      # eval on unseen ids: score only known ones
-                candidates, rows = candidates[known], rows[known]
-            if candidates.size == 0:
+                cand, rows = cand[known], rows[known]
+            if cand.size == 0:
                 continue
-            targets = batch.fields[field].dense_targets(candidates)
+            targets = batch.fields[field].dense_targets(cand)
             if self.config.binarize_targets:
                 targets = (targets > 0).astype(np.float64)
             nll = self.decoder.recon_nll(trunk, field, rows, targets,
-                                         scale=1.0 / n_users,
+                                         scale=scale,
                                          fused=self.config.fused)
             recon_terms.append((self._alphas[field], nll))
             diagnostics[f"nll_{field}"] = nll.item()
-            diagnostics[f"candidates_{field}"] = float(candidates.size)
+            diagnostics[f"candidates_{field}"] = float(cand.size)
 
         if recon_terms:
             recon = recon_terms[0][1] * (recon_terms[0][0] / self._alpha_norm)
@@ -168,7 +192,8 @@ class FVAE(Module, UserRepresentationModel):
         else:
             recon = mu.sum() * 0.0  # keeps the graph alive for degenerate batches
         kl = gaussian_kl(mu, logvar)
-        loss = recon + kl * beta
+        # beta * 1.0 is bit-exact, so the default weight changes nothing.
+        loss = recon + kl * (beta * kl_weight)
         diagnostics.update(recon=recon.item(), kl=kl.item(), beta=beta, loss=loss.item())
         return loss, diagnostics
 

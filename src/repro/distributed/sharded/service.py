@@ -1,0 +1,346 @@
+"""Sharded embedding service: real shard-server processes, zero-IPC reads.
+
+:class:`ShardedEmbeddingService` is the multi-process counterpart of
+:class:`repro.lookalike.store.EmbeddingStore` (and duck-types its read/write
+surface, so :class:`~repro.lookalike.serving.ServingProxy` fronts it
+unchanged).  Rows are partitioned by the process-stable key hash
+(:func:`repro.hashing.shard_for`) across ``n_shards`` *server processes*:
+
+* **writes** route through each shard's pipe; the server process owns slot
+  assignment for its shard and writes the vector into the shard's named
+  shared-memory slab (PR-5 columnar ``(capacity, dim)`` layout).  Acks carry
+  the assigned slots, which the client mirrors as ``key → (shard, slot)``.
+* **reads** never touch a pipe: the client gathers rows straight out of the
+  shard slabs through its own mapping — one fancy-indexed gather per shard,
+  zero copies, zero serialisation.  This is exactly the asymmetry of the
+  paper's online module (reads outnumber writes by orders of magnitude).
+
+Because reads bypass the servers entirely, killing a shard server
+(:meth:`kill_shard` — a real SIGKILL) degrades *writes only*: puts routed to
+the dead shard raise :class:`~repro.resilience.faults.StoreUnavailableError`
+(which the PR-2 resilience chain turns into stale/default serving), while
+every previously stored embedding keeps serving at full speed.
+
+Shard servers are started from a top-level entry point with picklable
+arguments, so the service works under both ``fork`` and ``spawn`` start
+methods — the ``spawn`` path is what proves slab attach-by-name works
+without inherited memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.distributed.sharded import shm
+from repro.hashing.stable import rebalance_moves, shard_for
+from repro.resilience.faults import StoreUnavailableError
+
+__all__ = ["ShardedEmbeddingService"]
+
+
+def _shard_server_main(slab_name: str, capacity: int, dim: int,
+                       conn) -> None:
+    """Shard-server process body (top-level: importable under spawn).
+
+    Owns slot assignment for one shard and performs every write into the
+    shard's slab; replies to each put with the assigned slots so the client
+    can mirror the placement for zero-IPC reads.
+    """
+    slab = shm.attach(slab_name, (capacity, dim), np.float64)
+    slots: dict[Hashable, int] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "put":
+                __, keys, matrix = msg
+                try:
+                    assigned = []
+                    for pos, key in enumerate(keys):
+                        slot = slots.get(key)
+                        if slot is None:
+                            slot = len(slots)
+                            if slot >= capacity:
+                                raise MemoryError(
+                                    f"shard slab full ({capacity} rows)")
+                            slots[key] = slot
+                        slab.array[slot] = matrix[pos]
+                        assigned.append(slot)
+                    conn.send(("ok", assigned))
+                except MemoryError as exc:
+                    conn.send(("err", str(exc)))
+            elif kind == "ping":
+                conn.send(("pong", len(slots)))
+            elif kind == "stop":
+                conn.send(("bye",))
+                break
+    finally:
+        conn.close()
+        slab.close()
+
+
+class ShardedEmbeddingService:
+    """Client/driver handle for a pool of shard-server processes.
+
+    Duck-types the :class:`~repro.lookalike.store.EmbeddingStore` surface
+    (``dim``/``get``/``get_many``/``get_batch``/``put``/``put_many``/
+    ``keys``/``rows_for``/``as_matrix``), so everything that fronts a store —
+    ``ServingProxy``, the resilience chain, the micro-batcher — fronts a
+    shard pool unchanged.
+
+    The handle is single-writer: one process (the one that built the
+    service) routes all puts and owns the read mirror.  Reads are plain
+    shared-memory gathers and are safe from any thread of that process.
+    """
+
+    def __init__(self, dim: int, n_shards: int = 2,
+                 capacity_per_shard: int = 4096,
+                 start_method: str = "fork") -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive: {dim}")
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive: {n_shards}")
+        if capacity_per_shard <= 0:
+            raise ValueError(
+                f"capacity_per_shard must be positive: {capacity_per_shard}")
+        self.dim = int(dim)
+        self.n_shards = int(n_shards)
+        self.capacity_per_shard = int(capacity_per_shard)
+        self.start_method = start_method
+        self._ctx = mp.get_context(start_method)
+        #: key -> (shard, slot); insertion order defines the global row order
+        #: reported by :meth:`rows_for` / :meth:`as_matrix`.
+        self._mirror: dict[Hashable, tuple[int, int]] = {}
+        self._slabs: list = []
+        self._servers: list = []      # [(Process, Connection)]
+        self._closed = False
+        self._start_servers()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _start_servers(self) -> None:
+        self._slabs = [shm.create((self.capacity_per_shard, self.dim),
+                                  np.float64)
+                       for __ in range(self.n_shards)]
+        self._servers = []
+        for shard in range(self.n_shards):
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_shard_server_main,
+                args=(self._slabs[shard].name, self.capacity_per_shard,
+                      self.dim, child),
+                daemon=True, name=f"repro-embed-shard-{shard}")
+            proc.start()
+            child.close()
+            self._servers.append((proc, parent))
+
+    def _stop_servers(self) -> None:
+        for proc, conn in self._servers:
+            if proc.is_alive():
+                try:
+                    conn.send(("stop",))
+                    if conn.poll(2.0):
+                        conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - last resort
+                    proc.kill()
+                    proc.join(timeout=5.0)
+        self._servers = []
+
+    def close(self) -> None:
+        """Stop every shard server and release the shared slabs."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_servers()
+        for slab in self._slabs:
+            slab.close()
+        self._slabs = []
+        self._mirror = {}
+
+    def __enter__(self) -> "ShardedEmbeddingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- fault surface ---------------------------------------------------------
+
+    def alive(self) -> list[bool]:
+        """Liveness of each shard server."""
+        return [proc.is_alive() for proc, __ in self._servers]
+
+    def kill_shard(self, shard: int) -> None:
+        """SIGKILL one shard server (chaos hook).
+
+        Reads keep working — the slab and the client mirror outlive the
+        server — but writes routed to this shard raise
+        :class:`StoreUnavailableError` until the pool is rebuilt.
+        """
+        proc, __ = self._servers[shard]
+        if proc.pid is not None and proc.is_alive():
+            os.kill(proc.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while proc.is_alive() and time.monotonic() < deadline:
+                proc.join(timeout=0.05)
+
+    # -- writes (routed through the shard servers) -----------------------------
+
+    def shard_of(self, key: Hashable) -> int:
+        return shard_for(key, self.n_shards)
+
+    def put(self, key: Hashable, vector: np.ndarray) -> None:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.dim},)")
+        self.put_many([key], vector[None, :])
+
+    def put_many(self, keys: Iterable[Hashable], matrix: np.ndarray) -> None:
+        if self._closed:
+            raise StoreUnavailableError("sharded service is closed")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        keys = list(keys)
+        if matrix.shape != (len(keys), self.dim):
+            raise ValueError(
+                f"matrix shape {matrix.shape} != ({len(keys)}, {self.dim})")
+        by_shard: dict[int, list[int]] = {}
+        for pos, key in enumerate(keys):
+            by_shard.setdefault(self.shard_of(key), []).append(pos)
+        placed: dict[int, tuple[int, int]] = {}   # position -> (shard, slot)
+        for shard, positions in sorted(by_shard.items()):
+            proc, conn = self._servers[shard]
+            if not proc.is_alive():
+                raise StoreUnavailableError(
+                    f"embedding shard {shard} is down")
+            shard_keys = [keys[pos] for pos in positions]
+            try:
+                conn.send(("put", shard_keys, matrix[positions]))
+                if not conn.poll(10.0):
+                    raise StoreUnavailableError(
+                        f"embedding shard {shard} did not ack")
+                reply = conn.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise StoreUnavailableError(
+                    f"embedding shard {shard} is down: {exc}") from exc
+            if reply[0] != "ok":
+                raise StoreUnavailableError(
+                    f"embedding shard {shard} rejected write: {reply[1]}")
+            for pos, slot in zip(positions, reply[1]):
+                placed[pos] = (shard, slot)
+        # Mirror in original key order so keys()/rows_for()/as_matrix()
+        # report the same insertion order an EmbeddingStore would.
+        for pos, key in enumerate(keys):
+            self._mirror[key] = placed[pos]
+
+    # -- reads (zero-IPC shared-memory gathers) --------------------------------
+
+    def __len__(self) -> int:
+        return len(self._mirror)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._mirror
+
+    def __iter__(self):
+        return iter(self._mirror)
+
+    def keys(self) -> list[Hashable]:
+        return list(self._mirror)
+
+    def get(self, key: Hashable) -> np.ndarray | None:
+        place = self._mirror.get(key)
+        if place is None:
+            return None
+        shard, slot = place
+        return self._slabs[shard].array[slot]
+
+    def get_many(self, keys: Iterable[Hashable]) -> np.ndarray:
+        """Stack vectors for ``keys``; raises on any missing key."""
+        keys = list(keys)
+        out = np.empty((len(keys), self.dim), dtype=np.float64)
+        self._gather(keys, out, strict=True)
+        return out
+
+    def get_batch(self,
+                  keys: Sequence[Hashable]) -> tuple[np.ndarray, np.ndarray]:
+        """``(matrix, found_mask)`` with zero rows for absent keys."""
+        out = np.zeros((len(keys), self.dim), dtype=np.float64)
+        found = self._gather(list(keys), out, strict=False)
+        return out, found
+
+    def _gather(self, keys: list, out: np.ndarray,
+                strict: bool) -> np.ndarray:
+        """Scatter slab rows into ``out``; one fancy-indexed read per shard."""
+        mirror = self._mirror
+        shards = np.empty(len(keys), dtype=np.int64)
+        slots = np.empty(len(keys), dtype=np.int64)
+        found = np.zeros(len(keys), dtype=bool)
+        for pos, key in enumerate(keys):
+            place = mirror.get(key)
+            if place is None:
+                if strict:
+                    raise KeyError(f"no embedding stored for key {key!r}")
+                continue
+            shards[pos], slots[pos] = place
+            found[pos] = True
+        for shard in np.unique(shards[found]):
+            sel = found & (shards == shard)
+            out[sel] = self._slabs[shard].array[slots[sel]]
+        return found
+
+    def rows_for(self, keys: Sequence[Hashable]) -> np.ndarray:
+        """Global row per key (``-1`` when absent), in mirror order."""
+        order = {key: row for row, key in enumerate(self._mirror)}
+        return np.asarray([order.get(key, -1) for key in keys],
+                          dtype=np.int64)
+
+    def as_matrix(self) -> tuple[list[Hashable], np.ndarray]:
+        """``(keys, matrix)`` gathered from the shard slabs (a copy)."""
+        keys = list(self._mirror)
+        matrix = np.empty((len(keys), self.dim), dtype=np.float64)
+        self._gather(keys, matrix, strict=True)
+        return keys, matrix
+
+    # -- rebalancing -----------------------------------------------------------
+
+    def reshard(self, new_n_shards: int) -> dict[str, int]:
+        """Re-partition every row onto ``new_n_shards`` fresh shard servers.
+
+        Collects the full contents client-side (zero-IPC), tears the old
+        pool down, rebuilds with the new shard count and replays every row —
+        so rebalancing is lossless by construction (pinned by the
+        multiprocess suite).  Returns ``{"stayed": ..., "moved": ...}``
+        according to :func:`repro.hashing.rebalance_moves`.
+        """
+        if new_n_shards <= 0:
+            raise ValueError(f"new_n_shards must be positive: {new_n_shards}")
+        if self._closed:
+            raise StoreUnavailableError("sharded service is closed")
+        keys, matrix = self.as_matrix()
+        stay, move = rebalance_moves(keys, self.n_shards, new_n_shards)
+        self._stop_servers()
+        for slab in self._slabs:
+            slab.close()
+        self._mirror = {}
+        self.n_shards = int(new_n_shards)
+        self._start_servers()
+        if keys:
+            self.put_many(keys, matrix)
+        return {"stayed": len(stay), "moved": len(move)}

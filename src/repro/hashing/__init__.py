@@ -9,9 +9,17 @@ grow as new ids arrive (§IV-C1).  Both are provided here:
 * :class:`FeatureHasher` — the static baseline (used by Mult-VAE at KD/QB
   scale in the paper's Table V footnote); hashes ids into a fixed number of
   buckets and therefore collides.
+
+:mod:`repro.hashing.stable` adds the process-stable hashes the sharded
+parameter server routes keys with (Python's own ``hash`` is randomised per
+process for strings, so it cannot place a key on the same shard twice).
 """
 
 from repro.hashing.dynamic_table import DynamicHashTable
 from repro.hashing.feature_hashing import FeatureHasher
+from repro.hashing.stable import (assign_shards, rebalance_moves, shard_for,
+                                  shard_of_ids, stable_hash, stable_hash_ids)
 
-__all__ = ["DynamicHashTable", "FeatureHasher"]
+__all__ = ["DynamicHashTable", "FeatureHasher", "stable_hash",
+           "stable_hash_ids", "shard_for", "shard_of_ids", "assign_shards",
+           "rebalance_moves"]

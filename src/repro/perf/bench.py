@@ -16,6 +16,7 @@ fused/unfused and capture speedup ratios in CI).
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -27,10 +28,11 @@ from repro.nn import Adam, Parameter, Tensor, functional as F
 from repro.obs import runtime as obs
 from repro.utils.rng import new_rng
 
-__all__ = ["run_bench", "DEFAULT_OUTPUT", "SERVING_OUTPUT"]
+__all__ = ["run_bench", "DEFAULT_OUTPUT", "SERVING_OUTPUT", "SHARDED_OUTPUT"]
 
 DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_PR8.json")
 SERVING_OUTPUT = Path("benchmarks/results/BENCH_PR5.json")
+SHARDED_OUTPUT = Path("benchmarks/results/BENCH_PR9.json")
 
 
 def _time_op(fn: Callable[[], object], repeats: int,
@@ -214,12 +216,15 @@ def run_bench(quick: bool = False, out: str | Path | None = None,
     ``suite="training"`` (default) runs the PR-3 hot-path stages plus the
     PR-8 capture stage and writes ``BENCH_PR8.json``; ``suite="serving"``
     runs the serving fast-path stages (:mod:`repro.perf.bench_serving`) and
-    writes ``BENCH_PR5.json``.
+    writes ``BENCH_PR5.json``; ``suite="sharded"`` runs the multi-process
+    sharded parameter-server scaling study (:mod:`repro.perf.bench_sharded`)
+    and writes ``BENCH_PR9.json``.
     """
-    if suite not in ("training", "serving"):
+    if suite not in ("training", "serving", "sharded"):
         raise ValueError(f"unknown bench suite '{suite}'")
     if out is None:
-        out = DEFAULT_OUTPUT if suite == "training" else SERVING_OUTPUT
+        out = {"training": DEFAULT_OUTPUT, "serving": SERVING_OUTPUT,
+               "sharded": SHARDED_OUTPUT}[suite]
     rng = new_rng(seed)
     repeats = 10 if quick else 50
     n_users = users if users is not None else (1500 if quick else 6000)
@@ -236,10 +241,13 @@ def run_bench(quick: bool = False, out: str | Path | None = None,
             ("capture_throughput",
              lambda: bench_capture_throughput(n_users, seed, epochs)),
         ]
-    else:
+    elif suite == "serving":
         from repro.perf.bench_serving import serving_stages
         stages = serving_stages(rng, quick, seed,
                                 repeats=3 if quick else 10)
+    else:
+        from repro.perf.bench_sharded import sharded_stages
+        stages = sharded_stages(rng, quick, seed)
     for name, stage in stages:
         with obs.span(f"bench.{name}"):
             results.extend(stage())
@@ -247,13 +255,18 @@ def run_bench(quick: bool = False, out: str | Path | None = None,
 
     report = {
         "meta": {
-            "bench": "PR8" if suite == "training" else "PR5",
+            "bench": {"training": "PR8", "serving": "PR5",
+                      "sharded": "PR9"}[suite],
             "suite": suite,
             "quick": quick,
             "users": n_users,
             "epochs": epochs,
             "seed": seed,
             "repeats": repeats,
+            # Honest-numbers convention (docs/PERFORMANCE.md): wall-clock
+            # multi-process scaling is only meaningful when the machine has
+            # the cores, so every report records what it ran on.
+            "cores": os.cpu_count(),
             "numpy": np.__version__,
             "python": platform.python_version(),
         },

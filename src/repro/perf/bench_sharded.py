@@ -1,0 +1,101 @@
+"""Measured multi-process scaling of the sharded parameter server (Fig 10).
+
+Runs the *real* :class:`~repro.distributed.sharded.ShardedTrainer` at several
+worker counts on the same seeded workload and reports, per cluster size:
+
+* **wall-clock** epoch time — what this machine actually delivered.  On a
+  box with fewer cores than workers this cannot scale (the workers time-slice
+  one core), so it is recorded but only gated when ``meta.cores`` covers the
+  largest cluster (see ``scripts/bench_check.py``).
+* **critical-path** time — ``serial + max(worker compute) + max(shard
+  apply)`` summed over steps, from the driver's per-step timings.  This is
+  the synchronous-step wall-clock a machine with enough cores would see
+  (identical in shape to what :class:`DistributedTrainingSimulator`
+  reconstructs from shard measurements), and is the portable scaling gate.
+
+The simulator's Fig 10 predictions for the same worker counts are written
+next to the measurements, so the analytic curve and the running system can
+be compared in one report (``benchmarks/results/BENCH_PR9.json``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bench_sharded_scaling", "sharded_stages"]
+
+
+def _fresh_model(dataset, seed: int):
+    from repro.core import FVAE, FVAEConfig
+
+    config = FVAEConfig(latent_dim=16, encoder_hidden=[32],
+                        decoder_hidden=[32], input_dropout=0.0,
+                        feature_dropout=0.0, seed=seed)
+    model = FVAE(dataset.schema, config)
+    model.initialize_from_dataset(dataset)
+    return model
+
+
+def bench_sharded_scaling(seed: int, n_users: int, epochs: int,
+                          batch_size: int,
+                          worker_counts: tuple[int, ...] = (1, 2, 4),
+                          ) -> list[dict]:
+    """Measured sharded-PS scaling plus the simulator's predicted curve."""
+    from repro.data import make_kd_like
+    from repro.distributed import DistributedTrainingSimulator
+    from repro.distributed.sharded import ShardedTrainer
+
+    dataset = make_kd_like(n_users=n_users, seed=seed).dataset
+    records: list[dict] = []
+    wall: dict[int, float] = {}
+    critical: dict[int, float] = {}
+    for w in worker_counts:
+        model = _fresh_model(dataset, seed)
+        trainer = ShardedTrainer(model, n_workers=w, lr=1e-3)
+        history = trainer.fit(dataset, epochs=epochs, batch_size=batch_size,
+                              rng=seed)
+        wall[w] = sum(r.epoch_time for r in history.epochs)
+        critical[w] = sum(t["serial"] + t["compute_max"] + t["apply_max"]
+                          for t in trainer.step_timings)
+        records.append({
+            "op": f"sharded_epoch_w{w}",
+            "n_workers": w,
+            "wall_seconds": wall[w],
+            "critical_path_seconds": critical[w],
+            "users_per_sec": n_users * epochs / wall[w] if wall[w] > 0
+            else float("inf"),
+        })
+
+    base = worker_counts[0]
+    for w in worker_counts[1:]:
+        records.append({"op": f"sharded_wall_speedup_w{w}",
+                        "ratio": wall[base] / wall[w] if wall[w] > 0
+                        else float("inf")})
+        records.append({"op": f"sharded_critical_path_speedup_w{w}",
+                        "ratio": critical[base] / critical[w]
+                        if critical[w] > 0 else float("inf")})
+
+    simulator = DistributedTrainingSimulator(
+        lambda: _fresh_model(dataset, seed), dataset)
+    curve = simulator.speedup_curve(list(worker_counts), epochs=1,
+                                    batch_size=batch_size, rng=seed)
+    for w in worker_counts:
+        records.append({"op": f"simulated_speedup_w{w}",
+                        "ratio": float(curve[w])})
+    return records
+
+
+def sharded_stages(rng: np.random.Generator, quick: bool,
+                   seed: int) -> list[tuple[str, object]]:
+    """Stage list for ``run_bench(suite="sharded")``."""
+    del rng  # the stage seeds its own dataset/model RNG for reproducibility
+    # Large batches on purpose: the per-step worker cost has a fixed term
+    # proportional to the candidate-set size (capped by the vocab), and the
+    # divisible term must dominate for parallelism to pay.
+    n_users = 1024 if quick else 3072
+    epochs = 1 if quick else 2
+    batch_size = 512
+    return [
+        ("sharded_scaling",
+         lambda: bench_sharded_scaling(seed, n_users, epochs, batch_size)),
+    ]

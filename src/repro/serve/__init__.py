@@ -15,7 +15,8 @@ from repro.serve.batcher import (AdmissionError, MicroBatcher, PendingResult,
                                  ShutdownError)
 from repro.serve.demo import ServingWorkload, WorkloadResult
 from repro.serve.overload import AdaptiveThrottle
+from repro.serve.sharded import ShardedServingTier
 
 __all__ = ["AdmissionError", "MicroBatcher", "PendingResult",
            "ShutdownError", "AdaptiveThrottle", "ServingWorkload",
-           "WorkloadResult"]
+           "WorkloadResult", "ShardedServingTier"]

@@ -1,0 +1,89 @@
+"""Sharded serving tier: shard-server pool → resilient proxy → micro-batcher.
+
+The online half of the sharded deployment.  A
+:class:`~repro.distributed.sharded.ShardedEmbeddingService` duck-types the
+:class:`~repro.lookalike.store.EmbeddingStore` read surface, so the PR-2
+serving stack composes onto it unchanged:
+
+* :class:`~repro.lookalike.serving.ServingProxy` supplies the LRU cache and,
+  when a :class:`~repro.resilience.ServingResilience` policy is attached,
+  the full degradation chain (retry, breaker, stale snapshot, default rows);
+* :class:`~repro.serve.MicroBatcher` coalesces scalar lookups onto the
+  proxy's batched path — one vectorised chain pass per flush.
+
+``flush`` resolves to ``(vector, resolved)`` pairs so scalar callers see the
+same mask semantics as the batched API.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.distributed.sharded.service import ShardedEmbeddingService
+from repro.lookalike.serving import ServingProxy
+from repro.serve.batcher import MicroBatcher
+
+__all__ = ["ShardedServingTier"]
+
+
+class ShardedServingTier:
+    """Front a shard-server pool with the cache/resilience/batcher stack.
+
+    Parameters mirror the pieces they configure: ``service`` is the shard
+    pool (owned by the caller unless ``own_service=True``), ``resilience``
+    arms the proxy's degradation chain, and the ``max_batch``/``max_delay``/
+    ``clock`` trio goes straight to the :class:`MicroBatcher`.
+    """
+
+    def __init__(self, service: ShardedEmbeddingService, *,
+                 cache_capacity: int = 10000, resilience=None,
+                 infer_fn=None, max_batch: int = 64,
+                 max_delay_seconds: float = 0.002,
+                 clock=time.monotonic, own_service: bool = False) -> None:
+        self.service = service
+        self._own_service = own_service
+        self.proxy = ServingProxy(service, cache_capacity=cache_capacity,
+                                  infer_fn=infer_fn, resilience=resilience)
+        self.batcher = MicroBatcher(self._flush, max_batch=max_batch,
+                                    max_delay_seconds=max_delay_seconds,
+                                    clock=clock)
+        self._closed = False
+
+    def _flush(self, user_ids: list[Hashable]) -> list:
+        matrix, mask = self.proxy.get_embeddings_masked_batch(user_ids)
+        return [(matrix[i], bool(mask[i])) for i in range(len(user_ids))]
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get_embedding(self, user_id: Hashable) -> np.ndarray | None:
+        """Scalar lookup through the batcher; ``None`` when unresolved."""
+        vector, resolved = self.batcher.get(user_id)
+        return vector if resolved else None
+
+    def get_embeddings_masked(
+            self, user_ids: Sequence[Hashable]) -> tuple[np.ndarray, np.ndarray]:
+        """Batched lookup: ``(matrix, resolved_mask)`` aligned with input."""
+        return self.proxy.get_embeddings_masked_batch(list(user_ids))
+
+    def submit(self, user_id: Hashable, deadline=None):
+        """Async scalar lookup: a :class:`PendingResult` of ``(vec, ok)``."""
+        return self.batcher.submit(user_id, deadline=deadline)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.close(drain=True)
+        if self._own_service:
+            self.service.close()
+
+    def __enter__(self) -> "ShardedServingTier":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -86,3 +86,48 @@ def _no_leaked_telemetry():
 
     yield
     obs.uninstall()
+
+
+@pytest.fixture()
+def shard_cluster():
+    """Factory for multiprocess shard fixtures with zero-leak teardown.
+
+    Yields a ``register`` callable: pass it anything with a ``close()``
+    (a :class:`ShardedEmbeddingService`, a :class:`ShardedServingTier`) and
+    it is closed at teardown even if the test fails mid-way.  After closing,
+    the fixture *asserts* the multiprocess hygiene every sharded test must
+    uphold:
+
+    * no orphan child processes (``multiprocessing.active_children``);
+    * no leaked ``/dev/shm`` segments carrying this repo's prefix.
+
+    A hard deadline guards the teardown joins — a hung worker fails the
+    test instead of hanging the suite (pytest-timeout is not available).
+    """
+    import multiprocessing as _mp
+    import time as _time
+
+    from repro.distributed.sharded import shm as _shm
+
+    segments_before = _shm.active_segments()
+    children_before = {p.pid for p in _mp.active_children()}
+    managed: list = []
+
+    yield managed.append
+
+    for resource in reversed(managed):
+        resource.close()
+    deadline = _time.monotonic() + 30.0
+    while _time.monotonic() < deadline:
+        leftover = [p for p in _mp.active_children()
+                    if p.pid not in children_before]
+        if not leftover:
+            break
+        _time.sleep(0.05)
+    else:  # pragma: no cover - only on leak
+        for p in leftover:
+            p.kill()
+        raise AssertionError(f"orphan shard processes after teardown: "
+                             f"{[p.pid for p in leftover]}")
+    leaked = _shm.active_segments() - segments_before
+    assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
