@@ -57,6 +57,23 @@ committed baseline uses 10k vectors, and those ratios are not comparable.
   time-slice fewer cores, making wall-clock scaling physically impossible
   — the honest-numbers convention of docs/PERFORMANCE.md).
 
+``ann`` (``BENCH_PR10.json``):
+
+* ``ann_int8_memory_reduction`` >= 4x and ``ann_pq_memory_reduction`` >=
+  8x — the quantized stores' byte footprint vs the float64 matrix.
+* ``ann_int8_recall_at_100`` >= 0.95 and ``ann_pq_recall_at_100`` >= 0.85
+  — exact-scan recall@100 over dequantized rows vs the float64 ground
+  truth (the PQ gate is the residual-coded configuration; plain PQ is
+  recorded ungated).
+* ``ann_ivf_vs_lsh_recall`` >= 1.0 — IVF recall over LSH recall at a
+  matched mean candidate budget.
+
+Memory reductions, recall values and the IVF/LSH ratio are deterministic
+functions of the seed and workload size — no timing involved — so these
+floors apply *unscaled* by the tolerance.  Baseline comparisons (with the
+tolerance) run only at a matched workload size (same ``meta.quick``),
+like the serving suite.
+
 Exit code 0 on pass, 1 on regression (messages on stderr).
 """
 
@@ -83,6 +100,18 @@ CAPTURE_FLOORS = {"capture_speedup": 1.5, "capture_speedup_exact": 1.0}
 #: the machine actually has the cores.
 SHARDED_FLOOR = 1.6
 SHARDED_WORKERS = 4
+
+#: The quantized-serving promise (deterministic ratios, unscaled by the
+#: tolerance): memory cuts vs the float64 matrix and IVF-vs-LSH recall at a
+#: matched candidate budget.
+ANN_RATIO_FLOORS = {"ann_int8_memory_reduction": 4.0,
+                    "ann_pq_memory_reduction": 8.0,
+                    "ann_ivf_vs_lsh_recall": 1.0}
+
+#: Exact-scan recall@100 floors over dequantized rows (deterministic,
+#: unscaled).  The PQ entry gates the residual-coded configuration.
+ANN_RECALL_FLOORS = {"ann_int8_recall_at_100": 0.95,
+                     "ann_pq_recall_at_100": 0.85}
 
 
 def _records(report: dict) -> dict[str, dict]:
@@ -231,6 +260,51 @@ def check_sharded(current: dict, baseline: dict | None,
     return failures
 
 
+def _recall_value(report: dict, op: str) -> float:
+    rec = _records(report).get(op)
+    if rec is None:
+        raise KeyError(f"report has no '{op}' record")
+    return float(rec["recall"])
+
+
+def check_ann(current: dict, baseline: dict | None,
+              tolerance: float) -> list[str]:
+    failures: list[str] = []
+    # These are deterministic functions of (seed, workload size) — memory
+    # ratios and recall values, no timing — so the floors apply unscaled.
+    for op, promised in ANN_RATIO_FLOORS.items():
+        ratio = _ratio(current, op)
+        if ratio < promised:
+            failures.append(
+                f"{op} {ratio:.3f} < {promised:.2f}: the quantized/ANN path "
+                "no longer delivers its promised ratio")
+    for op, promised in ANN_RECALL_FLOORS.items():
+        recall = _recall_value(current, op)
+        if recall < promised:
+            failures.append(
+                f"{op} {recall:.3f} < {promised:.2f}: quantized exact-scan "
+                "recall fell below the committed floor")
+    comparable = baseline is not None and \
+        _is_quick(current) == _is_quick(baseline)
+    if comparable:
+        scale = 1.0 - tolerance
+        for op in ANN_RATIO_FLOORS:
+            base = _ratio(baseline, op)
+            ratio = _ratio(current, op)
+            if ratio < base * scale:
+                failures.append(
+                    f"{op} {ratio:.3f} regressed more than {tolerance:.0%} "
+                    f"vs baseline {base:.3f}")
+        for op in ANN_RECALL_FLOORS:
+            base = _recall_value(baseline, op)
+            recall = _recall_value(current, op)
+            if recall < base * scale:
+                failures.append(
+                    f"{op} {recall:.3f} regressed more than {tolerance:.0%} "
+                    f"vs baseline {base:.3f}")
+    return failures
+
+
 def check(current: dict, baseline: dict | None, tolerance: float,
           ) -> list[str]:
     """Return a list of regression messages (empty means the gate passes)."""
@@ -243,6 +317,8 @@ def check(current: dict, baseline: dict | None, tolerance: float,
         return check_serving(current, baseline, tolerance)
     if suite == "sharded":
         return check_sharded(current, baseline, tolerance)
+    if suite == "ann":
+        return check_ann(current, baseline, tolerance)
     return check_training(current, baseline, tolerance)
 
 
@@ -250,6 +326,11 @@ def _summary(report: dict) -> str:
     if _suite(report) == "serving":
         return " ".join(f"{op}={_ratio(report, op):.3f}"
                         for op in SERVING_FLOORS)
+    if _suite(report) == "ann":
+        parts = [f"{op}={_ratio(report, op):.2f}" for op in ANN_RATIO_FLOORS]
+        parts += [f"{op}={_recall_value(report, op):.3f}"
+                  for op in ANN_RECALL_FLOORS]
+        return " ".join(parts)
     if _suite(report) == "sharded":
         w = SHARDED_WORKERS
         return (f"critical_path_w{w}="

@@ -513,3 +513,121 @@ def _oracle_sharded_serving(rng: np.random.Generator) -> Pairs:
                           np.ones(len(ref_keys), dtype=bool)),
         }
     return pairs
+
+
+@register_oracle("lookalike.quant.dequant_bound",
+                 description="int8/PQ quantize→dequantize round trips: codes "
+                             "and codebooks bit-identical across same-seed "
+                             "builds, round-trip error within the advertised "
+                             "bound (per-dimension scale for int8, training "
+                             "distortion for PQ)")
+def _oracle_quant_bound(rng: np.random.Generator) -> Pairs:
+    from repro.lookalike import Int8Quantizer, PQQuantizer
+
+    dim = 16
+    matrix = rng.normal(size=(120, dim))
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    first = Int8Quantizer(dim).fit(matrix)
+    second = Int8Quantizer(dim).fit(matrix)
+    codes = first.quantize(matrix)
+    pairs["int8.scale_reproducible"] = (first.scale, second.scale)
+    pairs["int8.codes_reproducible"] = (codes, second.quantize(matrix))
+    err = np.abs(matrix - first.dequantize(codes))
+    pairs["int8.error_within_bound"] = (
+        np.ones(err.shape, dtype=bool), err <= first.bound() + 1e-12)
+
+    seed = int(rng.integers(0, 2 ** 31))
+    pq_a = PQQuantizer(dim, n_subvectors=4, n_centroids=16, seed=seed).fit(matrix)
+    pq_b = PQQuantizer(dim, n_subvectors=4, n_centroids=16, seed=seed).fit(matrix)
+    pq_codes = pq_a.quantize(matrix)
+    pairs["pq.codebooks_reproducible"] = (pq_a.codebooks, pq_b.codebooks)
+    pairs["pq.codes_reproducible"] = (pq_codes, pq_b.quantize(matrix))
+    l2 = np.linalg.norm(matrix - pq_a.dequantize(pq_codes), axis=1)
+    pairs["pq.error_within_bound"] = (
+        np.ones(l2.shape, dtype=bool), l2 <= pq_a.bound() + 1e-12)
+    return pairs
+
+
+@register_oracle("lookalike.ivf.exhaustive_vs_exact",
+                 description="IVFIndex with nprobe == n_lists vs the exact "
+                             "scan (bit-identical top-k), plus batch vs "
+                             "scalar at full and partial probe budgets")
+def _oracle_ivf_exhaustive(rng: np.random.Generator) -> Pairs:
+    from repro.lookalike import IVFIndex, LSHIndex
+
+    dim, n, k = 12, 250, 9
+    vectors = rng.normal(size=(n, dim))
+    queries = rng.normal(size=(6, dim))
+    seed = int(rng.integers(0, 2 ** 31))
+
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    full = IVFIndex(dim, n_lists=10, nprobe=10, seed=seed).fit(vectors)
+    batched = full.query_batch(queries, k)
+    for i, query in enumerate(queries):
+        d2 = np.sum((vectors - query) ** 2, axis=1)
+        exact = LSHIndex._top_k(np.arange(n), d2, k)
+        scalar = full.query(query, k)
+        pairs[f"exhaustive.q{i}"] = (exact, scalar)
+        pairs[f"batch.q{i}"] = (scalar, batched[i])
+
+    partial = IVFIndex(dim, n_lists=10, nprobe=3, seed=seed).fit(vectors)
+    results = partial.query_batch(queries, k, fallback_to_exact=False)
+    for i, query in enumerate(queries):
+        pairs[f"partial.batch.q{i}"] = (
+            partial.query(query, k, fallback_to_exact=False), results[i])
+    return pairs
+
+
+@register_oracle("serve.quantized_proxy_vs_exact",
+                 description="ServingProxy over a QuantizedEmbeddingStore vs "
+                             "the exact-store proxy — identical masks, "
+                             "per-source counts and inference counts over "
+                             "cold+warm rounds, stored rows within the "
+                             "dequantization bound")
+def _oracle_quantized_proxy(rng: np.random.Generator) -> Pairs:
+    from repro.lookalike import (EmbeddingStore, QuantizedEmbeddingStore,
+                                 ServingProxy)
+    from repro.lookalike.serving import ServingResilience
+
+    dim, n = 8, 10
+    keys = [f"u{i}" for i in range(n)]
+    matrix = rng.normal(size=(n, dim))
+    fresh_vec = rng.normal(size=dim)
+
+    def build(quantized: bool):
+        if quantized:
+            store = QuantizedEmbeddingStore(dim, mode="int8")
+        else:
+            store = EmbeddingStore(dim=dim)
+        store.put_many(keys, matrix)
+
+        def infer(uid):
+            return fresh_vec.copy() if str(uid).startswith("fresh") else None
+
+        proxy = ServingProxy(store, cache_capacity=2 * n, infer_fn=infer,
+                             resilience=ServingResilience())
+        return proxy, store
+
+    exact_proxy, __ = build(quantized=False)
+    quant_proxy, quant_store = build(quantized=True)
+    bound = quant_store.dequant_bound()
+    ids = keys + ["fresh1", "ghost"]  # store / inferred / miss
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for rnd in range(2):  # cold round, then warm (cache) round
+        e_rows, e_mask = exact_proxy.get_embeddings_masked_batch(ids)
+        q_rows, q_mask = quant_proxy.get_embeddings_masked_batch(ids)
+        pairs[f"round{rnd}.mask"] = (e_mask, q_mask)
+        # Stored keys (rows drawn from the training matrix) must agree with
+        # the exact proxy to within the scalar-quantization bound.
+        within = np.abs(e_rows[:n] - q_rows[:n]) <= bound + 1e-12
+        pairs[f"round{rnd}.stored_within_bound"] = (
+            np.ones(within.shape, dtype=bool), within)
+    sources = sorted(set(exact_proxy.source_counts)
+                     | set(quant_proxy.source_counts))
+    pairs["source_counts"] = (
+        np.asarray([exact_proxy.source_counts[s] for s in sources]),
+        np.asarray([quant_proxy.source_counts[s] for s in sources]))
+    pairs["inferences"] = (np.asarray(exact_proxy.inferences),
+                           np.asarray(quant_proxy.inferences))
+    return pairs

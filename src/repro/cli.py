@@ -8,6 +8,9 @@ Commands mirror the deployment workflow of §IV-D at example scale:
 * ``embed``        — write user embeddings from a saved model to .npz
 * ``benchmark``    — quick FVAE-vs-Mult-VAE throughput comparison
 * ``bench``        — hot-path microbenchmarks → benchmarks/results/BENCH_*.json
+* ``lookalike``    — audience expansion over synthetic embeddings with a
+  selectable index (``--index none|lsh|ivf``) and quantized store
+  (``--quant none|int8|pq``); reports recall vs the exact configuration
 * ``faults``       — fault-injected distributed training overhead table
 * ``report``       — render a telemetry JSONL dump (``train --telemetry``)
 * ``check``        — correctness verification: gradcheck coverage sweep,
@@ -110,17 +113,46 @@ def build_parser() -> argparse.ArgumentParser:
                               help="output JSON path (default: "
                                    "benchmarks/results/BENCH_PR8.json for "
                                    "training, BENCH_PR5.json for serving, "
-                                   "BENCH_PR9.json for sharded)")
+                                   "BENCH_PR9.json for sharded, "
+                                   "BENCH_PR10.json for ann)")
     p_microbench.add_argument("--users", type=int, default=None,
                               help="override the epoch-throughput preset size")
     p_microbench.add_argument("--seed", type=int, default=0)
     p_microbench.add_argument("--suite",
-                              choices=("training", "serving", "sharded"),
+                              choices=("training", "serving", "sharded",
+                                       "ann"),
                               default="training",
                               help="training: PR 3 hot-path stages; serving: "
                                    "batched lookup / LSH / inference-forward "
                                    "/ cold-start stages; sharded: real "
-                                   "multi-process PS scaling vs simulator")
+                                   "multi-process PS scaling vs simulator; "
+                                   "ann: quantized stores + IVF recall/QPS "
+                                   "vs exact scan")
+
+    p_lookalike = sub.add_parser(
+        "lookalike", help="audience expansion over synthetic clustered "
+                          "embeddings: exact / LSH / IVF retrieval over a "
+                          "float64, int8 or product-quantized store")
+    p_lookalike.add_argument("--users", type=int, default=5000,
+                             help="number of users to embed (default: 5000)")
+    p_lookalike.add_argument("--dim", type=int, default=32,
+                             help="embedding dimension (default: 32)")
+    p_lookalike.add_argument("--seed", type=int, default=0)
+    p_lookalike.add_argument("--index", choices=("none", "lsh", "ivf"),
+                             default="none",
+                             help="retrieval index (none: exact scan)")
+    p_lookalike.add_argument("--quant", choices=("none", "int8", "pq"),
+                             default="none",
+                             help="embedding store quantization")
+    p_lookalike.add_argument("--k", type=int, default=100,
+                             help="audience size to expand to (default: 100)")
+    p_lookalike.add_argument("--seeds", type=int, default=20,
+                             help="seed-audience size (default: 20)")
+    p_lookalike.add_argument("--nprobe", type=int, default=8,
+                             help="IVF lists probed per query (default: 8)")
+    p_lookalike.add_argument("--telemetry", default=None, metavar="PATH",
+                             help="write a telemetry JSONL dump to PATH "
+                                  "(render with 'repro report')")
 
     p_faults = sub.add_parser(
         "faults", help="fault-injected distributed training: recovery "
@@ -382,17 +414,76 @@ def _cmd_benchmark(args, out) -> int:
 
 def _cmd_bench(args, out) -> int:
     from repro.perf import run_bench
-    from repro.perf.bench import (DEFAULT_OUTPUT, SERVING_OUTPUT,
+    from repro.perf.bench import (ANN_OUTPUT, DEFAULT_OUTPUT, SERVING_OUTPUT,
                                   SHARDED_OUTPUT, render_report)
 
     suite = getattr(args, "suite", "training")
     path = args.out or {"training": DEFAULT_OUTPUT,
                         "serving": SERVING_OUTPUT,
-                        "sharded": SHARDED_OUTPUT}[suite]
+                        "sharded": SHARDED_OUTPUT,
+                        "ann": ANN_OUTPUT}[suite]
     report = run_bench(quick=args.quick, out=path, users=args.users,
                        seed=args.seed, suite=suite)
     print(render_report(report), file=out)
     print(f"results written to {path}", file=out)
+    return 0
+
+
+def _cmd_lookalike(args, out) -> int:
+    from repro import obs
+    from repro.lookalike import LookalikeSystem
+    from repro.utils.rng import new_rng
+
+    rng = new_rng(args.seed)
+    # Clustered corpus so an approximate index has real structure to find.
+    n_clusters = max(2, min(32, args.users // 50))
+    centers = rng.normal(size=(n_clusters, args.dim))
+    assign = rng.integers(0, n_clusters, size=args.users)
+    embeddings = centers[assign] + 0.35 * rng.normal(
+        size=(args.users, args.dim))
+    # Seed audiences are *similar* users — draw them from one cluster so the
+    # pooled query lands in real structure instead of near the global mean.
+    members = np.flatnonzero(assign == assign[rng.integers(0, args.users)])
+    seeds = rng.choice(members, size=min(args.seeds, members.size),
+                       replace=False)
+
+    def build_and_expand(quant, index):
+        params = {"nprobe": args.nprobe} if index == "ivf" else None
+        system = LookalikeSystem(embeddings, quant=quant,
+                                 index=None if index == "none" else index,
+                                 seed=args.seed, index_params=params)
+        return system, system.expand_audience(seeds, args.k)
+
+    def run():
+        system, audience = build_and_expand(args.quant, args.index)
+        __, exact_audience = build_and_expand("none", "none")
+        return system, audience, exact_audience
+
+    if args.telemetry:
+        with obs.session() as telemetry:
+            system, audience, exact_audience = run()
+        events = telemetry.dump_jsonl(
+            args.telemetry, run_id=f"lookalike-seed{args.seed}")
+    else:
+        system, audience, exact_audience = run()
+        events = None
+
+    exact_bytes = embeddings.nbytes
+    recall = (np.isin(audience, exact_audience).mean()
+              if audience.size else 0.0)
+    print(f"lookalike: {args.users:,} users dim={args.dim} "
+          f"index={args.index} quant={args.quant}", file=out)
+    print(f"  serving bytes: {system.serving_bytes:,} "
+          f"({exact_bytes / max(system.serving_bytes, 1):.2f}x smaller than "
+          f"float64)", file=out)
+    print(f"  expanded {seeds.size} seeds to {audience.size} users; "
+          f"recall vs exact scan {recall:.3f}", file=out)
+    preview = ", ".join(str(u) for u in audience[:10])
+    print(f"  top users: [{preview}{', ...' if audience.size > 10 else ''}]",
+          file=out)
+    if events is not None:
+        print(f"telemetry: {events} events written to {args.telemetry}",
+              file=out)
     return 0
 
 
@@ -689,6 +780,7 @@ _COMMANDS = {
     "embed": _cmd_embed,
     "benchmark": _cmd_benchmark,
     "bench": _cmd_bench,
+    "lookalike": _cmd_lookalike,
     "faults": _cmd_faults,
     "report": _cmd_report,
     "check": _cmd_check,

@@ -6,9 +6,11 @@ behaviour simulator standing in for live traffic.
 """
 
 from repro.lookalike.ab_test import ABTestReport, OnlineABTest, UploaderBehaviorSimulator
-from repro.lookalike.ann import LSHIndex
+from repro.lookalike.ann import IVFIndex, LSHIndex, exact_top_k
 from repro.lookalike.quality import (expansion_lift, expansion_precision,
                                      precision_at_depths)
+from repro.lookalike.quant import (Int8Quantizer, PQQuantizer,
+                                   QuantizedEmbeddingStore)
 from repro.lookalike.serving import ServingProxy, ServingResilience
 from repro.lookalike.store import EmbeddingStore, LRUCache
 from repro.lookalike.system import LookalikeSystem
@@ -18,5 +20,6 @@ __all__ = [
     "LookalikeSystem",
     "UploaderBehaviorSimulator", "OnlineABTest", "ABTestReport",
     "expansion_precision", "expansion_lift", "precision_at_depths",
-    "LSHIndex",
+    "LSHIndex", "IVFIndex", "exact_top_k",
+    "Int8Quantizer", "PQQuantizer", "QuantizedEmbeddingStore",
 ]

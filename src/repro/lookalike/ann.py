@@ -1,24 +1,33 @@
-"""Approximate nearest-neighbour recall: random-hyperplane LSH.
+"""Approximate nearest-neighbour recall: random-hyperplane LSH and IVF.
 
 The paper's look-alike system recalls accounts by L2 similarity over
 billion-scale embedding sets; exact scans do not serve at that scale, so
-production deployments put an ANN index in the online module.  This is a
-self-contained signed-random-projection (SimHash) index with multi-table
-probing: vectors hashing to the same bucket in any table become candidates,
-and only candidates are scored exactly.
+production deployments put an ANN index in the online module.  Two
+self-contained indexes live here:
 
-Buckets are stored as *sorted posting lists*: per table, one array of bucket
-keys sorted ascending plus the matching row permutation.  A bucket probe is
-then a ``searchsorted`` left/right pair and a contiguous slice — no dict
-lookups, no Python lists — and a multi-query probe
-(:meth:`LSHIndex.candidates_batch` / :meth:`LSHIndex.query_batch`) hashes
-every query in one matmul and rescores all candidates in one vectorised
-pass.  The scalar :meth:`LSHIndex.query` rides the same primitives, so batch
-and scalar results are bit-identical.
+* :class:`LSHIndex` — signed-random-projection (SimHash) with multi-table
+  probing: vectors hashing to the same bucket in any table become
+  candidates, and only candidates are scored exactly.
+* :class:`IVFIndex` — inverted-file coarse quantizer in the FastVAE /
+  inverted-multi-index tradition: a seeded k-means partitions the rows into
+  ``n_lists`` cells, a query probes its ``nprobe`` nearest cells, and the
+  posting-list members are rescored either exactly or by asymmetric
+  distance (ADC) against a product-quantized code matrix — candidate
+  scoring without touching the float vectors.
 
-Recall quality is tunable with ``n_tables`` (more tables → higher recall,
-more memory) and ``n_bits`` (more bits → smaller buckets → faster but lower
-recall); the tests measure recall@k against the exact scan.
+Both store candidates as *sorted posting arrays*: bucket/list membership is
+a ``searchsorted`` pair and a contiguous slice — no dict lookups, no Python
+lists — and multi-query probes (``candidates_batch`` / ``query_batch``)
+hash/assign every query in one matmul and gather all posting slices with
+one ragged ``arange``.  The scalar ``query`` rides the same primitives, so
+batch and scalar results are bit-identical; with ``nprobe == n_lists`` the
+IVF exact-rescore path degenerates to the exact scan bit for bit (pinned by
+the ``lookalike.ivf.exhaustive_vs_exact`` oracle).
+
+Recall evaluation (``recall_at_k``) compares against :func:`exact_top_k`,
+which chunks the exact-scan matmul to a fixed memory budget so the ground
+truth never allocates an ``(n_queries, n)`` distance matrix at million-row
+scale.
 """
 
 from __future__ import annotations
@@ -28,7 +37,61 @@ import numpy as np
 from repro.obs import runtime as obs
 from repro.utils.rng import new_rng
 
-__all__ = ["LSHIndex"]
+__all__ = ["LSHIndex", "IVFIndex", "exact_top_k"]
+
+
+def exact_top_k(vectors: np.ndarray, queries: np.ndarray, k: int,
+                chunk_bytes: int = 32 * 2 ** 20) -> np.ndarray:
+    """Exact top-``k`` row indices per query, shape ``(n_queries, k)``.
+
+    The distance matrix is computed in row chunks capped at ``chunk_bytes``
+    of float64 (default 32MB), merging a running best-``k`` pool between
+    chunks, so peak memory is independent of the index size.  Selection is
+    by lexicographic ``(distance, row_index)`` order — the unique minimum
+    — which makes the result invariant to the chunk size: one giant chunk
+    and many small ones return identical indices (the regression test in
+    ``tests/test_lookalike_ivf.py`` pins this).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive: {k}")
+    vectors = np.asarray(vectors, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n = vectors.shape[0]
+    n_queries = queries.shape[0]
+    if n == 0:
+        raise ValueError("cannot scan an empty vector set")
+    k = min(k, n)
+    # A (n_queries, rows) float64 chunk of distances costs 8 * q bytes/row.
+    rows_per_chunk = max(1, int(chunk_bytes // (8 * max(1, n_queries))))
+    q_norm = (queries ** 2).sum(axis=1)[:, None]
+    best_d = np.empty((n_queries, 0), dtype=np.float64)
+    best_i = np.empty((n_queries, 0), dtype=np.int64)
+    for start in range(0, n, rows_per_chunk):
+        chunk = vectors[start:start + rows_per_chunk]
+        d2 = ((chunk ** 2).sum(axis=1)[None, :]
+              - 2.0 * queries @ chunk.T + q_norm)
+        idx = np.broadcast_to(
+            np.arange(start, start + chunk.shape[0], dtype=np.int64),
+            d2.shape)
+        pool_d = np.concatenate([best_d, d2], axis=1)
+        pool_i = np.concatenate([best_i, idx], axis=1)
+        # Lexicographic (d, i) min-k: stable-sort by index, then stable-sort
+        # by distance — ties break toward the lower row index.
+        by_index = np.argsort(pool_i, axis=1, kind="stable")
+        d_by_index = np.take_along_axis(pool_d, by_index, axis=1)
+        order = np.argsort(d_by_index, axis=1, kind="stable")[:, :k]
+        take = np.take_along_axis(by_index, order, axis=1)
+        best_d = np.take_along_axis(pool_d, take, axis=1)
+        best_i = np.take_along_axis(pool_i, take, axis=1)
+    return best_i
+
+
+def _recall_against_exact(approx: list[np.ndarray],
+                          exact: np.ndarray, k: int) -> float:
+    """Fraction of exact top-``k`` ids present in the approximate results."""
+    hits = sum(np.isin(exact[q], approx[q]).sum()
+               for q in range(exact.shape[0]))
+    return hits / (exact.shape[1] * exact.shape[0])
 
 
 class LSHIndex:
@@ -228,19 +291,247 @@ class LSHIndex:
     def recall_at_k(self, queries: np.ndarray, k: int) -> float:
         """Fraction of exact top-``k`` neighbours the index retrieves.
 
-        One batched approximate pass plus one batched exact scan — the exact
-        distances for all queries come from a single matmul instead of a
-        per-query re-scan.
+        One batched approximate pass plus one chunked exact scan
+        (:func:`exact_top_k`) — peak ground-truth memory stays bounded
+        instead of allocating an ``(n_queries, n)`` distance matrix.
         """
         if self._vectors is None:
             raise RuntimeError("index is empty; call fit() first")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         approx = self.query_batch(queries, k, fallback_to_exact=False)
-        vectors = self._vectors
-        d2 = ((vectors ** 2).sum(axis=1)[None, :]
-              - 2.0 * queries @ vectors.T
+        exact = exact_top_k(self._vectors, queries, k)
+        return _recall_against_exact(approx, exact, k)
+
+
+class IVFIndex:
+    """Inverted-file index: k-means coarse quantizer + posting arrays.
+
+    :meth:`fit` partitions the rows into ``n_lists`` cells with a seeded
+    Lloyd's loop (:func:`repro.lookalike.quant.kmeans`) and stores each
+    cell's members as one slice of a single posting array.  A query is
+    assigned to its ``nprobe`` nearest centroids and only those cells'
+    members are rescored:
+
+    * **exact rescoring** (default) uses the float vectors with the very
+      expression the exact scan uses, so ``nprobe == n_lists`` reproduces
+      the exact scan bit for bit — the differential-oracle anchor;
+    * **ADC rescoring** (pass a :class:`~repro.lookalike.quant.PQQuantizer`
+      as ``quantizer``) scores candidates from their uint8 PQ codes via a
+      per-query lookup table without touching the float matrix — the
+      million-user memory configuration.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    n_lists:
+        Coarse cells (k-means centroids).  More lists → smaller cells →
+        fewer candidates per probe.
+    nprobe:
+        Cells probed per query.  More probes → higher recall, more work.
+    seed:
+        Seed for the coarse k-means.
+    quantizer:
+        Optional :class:`~repro.lookalike.quant.PQQuantizer` enabling ADC
+        rescoring; trained on the indexed vectors at :meth:`fit` time if
+        not already trained.
+    train_iters:
+        Lloyd iterations for the coarse quantizer.
+    """
+
+    def __init__(self, dim: int, n_lists: int = 64, nprobe: int = 8,
+                 seed: int = 0, quantizer=None, train_iters: int = 15) -> None:
+        if dim <= 0 or n_lists <= 0 or train_iters <= 0:
+            raise ValueError("dim, n_lists and train_iters must be positive")
+        if not 1 <= nprobe <= n_lists:
+            raise ValueError(f"nprobe must be in [1, {n_lists}]: {nprobe}")
+        if quantizer is not None and quantizer.dim != dim:
+            raise ValueError(
+                f"quantizer dim {quantizer.dim} != index dim {dim}")
+        if quantizer is not None and getattr(quantizer, "n_coarse", 0):
+            raise ValueError(
+                "ADC rescoring needs a plain (non-residual) PQQuantizer; "
+                "residual-coded quantizers have no per-query LUT")
+        self.dim = dim
+        self.n_lists = n_lists
+        self.nprobe = nprobe
+        self.seed = seed
+        self.train_iters = train_iters
+        self.quantizer = quantizer
+        self._centroids: np.ndarray | None = None
+        #: Posting array: row indices grouped by cell; cell ``c`` owns the
+        #: slice ``_order[_boundaries[c]:_boundaries[c + 1]]``.
+        self._order: np.ndarray | None = None
+        self._boundaries: np.ndarray | None = None
+        self._vectors: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+
+    def fit(self, vectors: np.ndarray) -> "IVFIndex":
+        """Index ``vectors`` (``(n, dim)``); replaces any previous contents."""
+        from repro.lookalike.quant import kmeans
+
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (n, {self.dim}) vectors, got {vectors.shape}")
+        n = vectors.shape[0]
+        if n == 0:
+            raise ValueError("cannot index an empty vector set")
+        n_lists = min(self.n_lists, n)
+        self._centroids, assign = kmeans(vectors, n_lists, seed=self.seed,
+                                         n_iters=self.train_iters)
+        order = np.argsort(assign, kind="stable")
+        self._order = order
+        self._boundaries = np.searchsorted(
+            assign[order], np.arange(n_lists + 1, dtype=np.int64))
+        self._vectors = vectors
+        if self.quantizer is not None:
+            if not self.quantizer.trained:
+                self.quantizer.fit(vectors)
+            self._codes = self.quantizer.quantize(vectors)
+        obs.gauge_set("ivf.size", n)
+        obs.gauge_set("ivf.lists", n_lists)
+        return self
+
+    @property
+    def size(self) -> int:
+        return 0 if self._vectors is None else self._vectors.shape[0]
+
+    # -- candidate generation --------------------------------------------------
+
+    def _effective_lists(self) -> int:
+        return int(self._boundaries.shape[0] - 1)
+
+    def _probe_lists(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
+        """The ``nprobe`` nearest cells per query, shape ``(q, nprobe)``.
+
+        Stable argsort over centroid distances, so probe order (and hence
+        every downstream candidate set) is deterministic under ties.
+        """
+        centroids = self._centroids
+        d2 = ((centroids ** 2).sum(axis=1)[None, :]
+              - 2.0 * queries @ centroids.T
               + (queries ** 2).sum(axis=1)[:, None])
-        exact = np.argpartition(d2, k - 1, axis=1)[:, :k]
-        hits = sum(np.isin(exact[q], approx[q]).sum()
-                   for q in range(queries.shape[0]))
-        return hits / (k * queries.shape[0])
+        return np.argsort(d2, axis=1, kind="stable")[:, :nprobe]
+
+    def candidates(self, query: np.ndarray) -> np.ndarray:
+        """Members of the query's ``nprobe`` nearest cells, sorted."""
+        return self.candidates_batch(np.atleast_2d(query))[0]
+
+    def candidates_batch(self, queries: np.ndarray) -> list[np.ndarray]:
+        """Per-query candidate row indices; one assignment matmul for all.
+
+        Cells are disjoint, so each query's candidate set is duplicate-free
+        by construction; it is returned sorted ascending so the scalar and
+        batch paths (and LSH) share candidate-order semantics.
+        """
+        if self._vectors is None:
+            raise RuntimeError("index is empty; call fit() first")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        nprobe = min(self.nprobe, self._effective_lists())
+        probes = self._probe_lists(queries, nprobe)             # (q, nprobe)
+        obs.count("ivf.probes", int(probes.size))
+        lo = self._boundaries[probes].ravel()
+        hi = self._boundaries[probes + 1].ravel()
+        lengths = hi - lo
+        total = int(lengths.sum())
+        if total == 0:
+            return [np.empty(0, dtype=np.int64) for __ in range(n_queries)]
+        # Ragged arange gather of every (query, cell) posting slice.
+        offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        flat_pos = (np.repeat(lo - offsets, lengths)
+                    + np.arange(total, dtype=np.int64))
+        candidates = self._order[flat_pos]
+        per_query_counts = lengths.reshape(n_queries, nprobe).sum(axis=1)
+        owners = np.repeat(np.arange(n_queries, dtype=np.int64),
+                           per_query_counts)
+        # One global composite sort gives per-query ascending candidates.
+        composite = owners * self.size + candidates
+        composite.sort()
+        owners = composite // self.size
+        candidates = composite - owners * self.size
+        bounds = np.searchsorted(owners, np.arange(n_queries + 1))
+        return [candidates[bounds[q]:bounds[q + 1]]
+                for q in range(n_queries)]
+
+    # -- top-k queries ---------------------------------------------------------
+
+    def _rescore(self, candidate_idx: np.ndarray, query: np.ndarray,
+                 lut: np.ndarray | None) -> np.ndarray:
+        """Candidate distances: ADC from codes when a LUT is given, else
+        exact — the same expression as the exact scan, bit for bit."""
+        if lut is not None:
+            return self.quantizer.adc_distances(lut, self._codes[candidate_idx])
+        return np.sum((self._vectors[candidate_idx] - query) ** 2, axis=1)
+
+    def query(self, query: np.ndarray, k: int,
+              fallback_to_exact: bool = True) -> np.ndarray:
+        """Approximate top-``k`` nearest rows by L2 distance.
+
+        When the probed cells hold fewer than ``k`` members and
+        ``fallback_to_exact`` is set, the query falls back to scanning all
+        rows (guaranteed results beat silent truncation in serving).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive: {k}")
+        with obs.latency("ivf.query_seconds"), obs.span("ivf.query"):
+            query = np.asarray(query, dtype=np.float64).ravel()
+            candidate_idx = self.candidates(query)
+            obs.observe("ivf.candidates", candidate_idx.size)
+            if candidate_idx.size < k and fallback_to_exact:
+                candidate_idx = np.arange(self.size)
+                obs.count("ivf.exact_fallbacks")
+            lut = (self.quantizer.adc_lut(query)
+                   if self._codes is not None else None)
+            d2 = self._rescore(candidate_idx, query, lut)
+            return LSHIndex._top_k(candidate_idx, d2, k)
+
+    def query_batch(self, queries: np.ndarray, k: int,
+                    fallback_to_exact: bool = True) -> list[np.ndarray]:
+        """Batched :meth:`query`: per-query top-``k`` row index arrays.
+
+        Coarse assignment runs in one matmul for the whole batch; rescoring
+        then runs per query with exactly the scalar path's expression, so
+        per-query results are bit-identical to looped :meth:`query` calls.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive: {k}")
+        with obs.latency("ivf.query_batch_seconds"), obs.span("ivf.query_batch"):
+            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+            per_query = self.candidates_batch(queries)
+            fallbacks = 0
+            if fallback_to_exact:
+                everything = None
+                for q, candidate_idx in enumerate(per_query):
+                    if candidate_idx.size < k:
+                        if everything is None:
+                            everything = np.arange(self.size)
+                        per_query[q] = everything
+                        fallbacks += 1
+            obs.observe_many("ivf.candidates",
+                             [candidate_idx.size
+                              for candidate_idx in per_query])
+            if fallbacks:
+                obs.count("ivf.exact_fallbacks", fallbacks)
+            results = []
+            for q in range(queries.shape[0]):
+                candidate_idx = per_query[q]
+                lut = (self.quantizer.adc_lut(queries[q])
+                       if self._codes is not None else None)
+                d2 = self._rescore(candidate_idx, queries[q], lut)
+                results.append(LSHIndex._top_k(candidate_idx, d2, k))
+            return results
+
+    def recall_at_k(self, queries: np.ndarray, k: int) -> float:
+        """Fraction of exact top-``k`` neighbours the index retrieves.
+
+        Ground truth comes from the chunked :func:`exact_top_k`, same as
+        :meth:`LSHIndex.recall_at_k`.
+        """
+        if self._vectors is None:
+            raise RuntimeError("index is empty; call fit() first")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        approx = self.query_batch(queries, k, fallback_to_exact=False)
+        exact = exact_top_k(self._vectors, queries, k)
+        return _recall_against_exact(approx, exact, k)

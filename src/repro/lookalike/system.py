@@ -6,6 +6,16 @@ pooling the embeddings of the users who follow it, (3) recall candidate
 accounts for a user by L2 similarity.  :class:`LookalikeSystem` implements
 exactly that pipeline over an embedding matrix, plus classic seed-audience
 expansion.
+
+At deployment scale the online module neither stores float64 rows nor scans
+them exhaustively; the constructor therefore accepts a quantization mode
+(``quant="int8"``/``"pq"`` — the online matrix becomes a
+:class:`~repro.lookalike.quant.QuantizedEmbeddingStore` and every online
+read sees dequantized rows) and an ANN index (``index="lsh"``/``"ivf"`` —
+:meth:`expand_audience` probes the index instead of scanning).  The default
+(``quant="none"``, ``index=None``) is the exact path, unchanged bit for
+bit; it stays the oracle reference the approximate configurations are
+measured against.
 """
 
 from __future__ import annotations
@@ -13,6 +23,9 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["LookalikeSystem"]
+
+_QUANT_MODES = ("none", "int8", "pq")
+_INDEX_KINDS = (None, "none", "lsh", "ivf")
 
 
 class LookalikeSystem:
@@ -22,14 +35,78 @@ class LookalikeSystem:
     ----------
     user_embeddings:
         ``(N, D)`` matrix; row ``i`` is user ``i``'s representation.
+    quant:
+        ``"none"`` (exact float64 matrix), ``"int8"`` or ``"pq"``: the
+        online side reads through a
+        :class:`~repro.lookalike.quant.QuantizedEmbeddingStore` trained on
+        the matrix (4–64x memory cut; see :attr:`serving_bytes`).
+    index:
+        ``None``/``"none"`` (exact scan), ``"lsh"`` or ``"ivf"``: ANN index
+        used by :meth:`expand_audience`.  An IVF index over a PQ-quantized
+        system shares the store's codebooks for ADC rescoring.
+    seed:
+        Seed for codebook training and index construction.
+    index_params:
+        Extra keyword arguments for the index constructor (e.g.
+        ``{"n_lists": 128, "nprobe": 16}`` or ``{"n_tables": 12}``).
     """
 
-    def __init__(self, user_embeddings: np.ndarray) -> None:
+    def __init__(self, user_embeddings: np.ndarray, *,
+                 quant: str = "none", index: str | None = None,
+                 seed: int = 0, index_params: dict | None = None) -> None:
         user_embeddings = np.asarray(user_embeddings, dtype=np.float64)
         if user_embeddings.ndim != 2:
             raise ValueError("user_embeddings must be a 2-D (N, D) matrix")
+        if quant not in _QUANT_MODES:
+            raise ValueError(f"quant must be one of {_QUANT_MODES}: {quant!r}")
+        if index not in _INDEX_KINDS:
+            raise ValueError(f"index must be one of {_INDEX_KINDS}: {index!r}")
         self.user_embeddings = user_embeddings
+        self.quant = quant
+        self.index_kind = None if index in (None, "none") else index
         self._account_embeddings: np.ndarray | None = None
+        self.store = None
+        self.index = None
+        if quant != "none":
+            from repro.lookalike.quant import QuantizedEmbeddingStore
+
+            store = QuantizedEmbeddingStore(user_embeddings.shape[1],
+                                            mode=quant, seed=seed)
+            store.put_many(np.arange(user_embeddings.shape[0]),
+                           user_embeddings)
+            self.store = store
+            # Online reads see what serving would serve: dequantized rows.
+            self._online = store.as_matrix()[1]
+        else:
+            self._online = user_embeddings
+        if self.index_kind == "lsh":
+            from repro.lookalike.ann import LSHIndex
+
+            params = dict(index_params or {})
+            params.setdefault("seed", seed)
+            self.index = LSHIndex(self.dim, **params).fit(self._online)
+        elif self.index_kind == "ivf":
+            from repro.lookalike.ann import IVFIndex
+
+            params = dict(index_params or {})
+            params.setdefault("seed", seed)
+            if quant == "pq":
+                params.setdefault("quantizer", self.store.quantizer)
+            self.index = IVFIndex(self.dim, **params).fit(self._online)
+
+    @property
+    def online_embeddings(self) -> np.ndarray:
+        """The matrix the online side ranks against (dequantized if
+        quantized; the exact matrix otherwise)."""
+        return self._online
+
+    @property
+    def serving_bytes(self) -> int:
+        """Online-side embedding memory: code bytes when quantized, float64
+        matrix bytes otherwise."""
+        if self.store is not None:
+            return self.store.nbytes
+        return int(self.user_embeddings.nbytes)
 
     @property
     def n_users(self) -> int:
@@ -99,12 +176,21 @@ class LookalikeSystem:
         ranked by L2 distance to it.
         """
         seed_user_ids = np.asarray(seed_user_ids, dtype=np.int64)
-        query = self.account_embedding(seed_user_ids)
-        d2 = np.sum((self.user_embeddings - query) ** 2, axis=1)
-        if exclude_seeds:
-            d2[seed_user_ids] = np.inf
+        if seed_user_ids.size == 0:
+            raise ValueError("an account needs at least one follower to embed")
+        query = self._online[seed_user_ids].mean(axis=0)
         limit = min(k, self.n_users - (seed_user_ids.size if exclude_seeds else 0))
         if limit <= 0:
             return np.empty(0, dtype=np.int64)
+        if self.index is not None:
+            # Over-fetch so dropping the seeds still leaves ``limit`` results.
+            want = limit + (np.unique(seed_user_ids).size if exclude_seeds else 0)
+            ranked = self.index.query(query, min(want, self.n_users))
+            if exclude_seeds:
+                ranked = ranked[~np.isin(ranked, seed_user_ids)]
+            return ranked[:limit]
+        d2 = np.sum((self._online - query) ** 2, axis=1)
+        if exclude_seeds:
+            d2[seed_user_ids] = np.inf
         top = np.argpartition(d2, limit - 1)[:limit]
         return top[np.argsort(d2[top])]

@@ -28,11 +28,13 @@ from repro.nn import Adam, Parameter, Tensor, functional as F
 from repro.obs import runtime as obs
 from repro.utils.rng import new_rng
 
-__all__ = ["run_bench", "DEFAULT_OUTPUT", "SERVING_OUTPUT", "SHARDED_OUTPUT"]
+__all__ = ["run_bench", "DEFAULT_OUTPUT", "SERVING_OUTPUT", "SHARDED_OUTPUT",
+           "ANN_OUTPUT"]
 
 DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_PR8.json")
 SERVING_OUTPUT = Path("benchmarks/results/BENCH_PR5.json")
 SHARDED_OUTPUT = Path("benchmarks/results/BENCH_PR9.json")
+ANN_OUTPUT = Path("benchmarks/results/BENCH_PR10.json")
 
 
 def _time_op(fn: Callable[[], object], repeats: int,
@@ -218,13 +220,16 @@ def run_bench(quick: bool = False, out: str | Path | None = None,
     runs the serving fast-path stages (:mod:`repro.perf.bench_serving`) and
     writes ``BENCH_PR5.json``; ``suite="sharded"`` runs the multi-process
     sharded parameter-server scaling study (:mod:`repro.perf.bench_sharded`)
-    and writes ``BENCH_PR9.json``.
+    and writes ``BENCH_PR9.json``; ``suite="ann"`` runs the quantization +
+    ANN-index study (:mod:`repro.perf.bench_ann` — memory reduction,
+    recall@k-vs-QPS curve, IVF-vs-LSH at matched candidate budget) and
+    writes ``BENCH_PR10.json``.
     """
-    if suite not in ("training", "serving", "sharded"):
+    if suite not in ("training", "serving", "sharded", "ann"):
         raise ValueError(f"unknown bench suite '{suite}'")
     if out is None:
         out = {"training": DEFAULT_OUTPUT, "serving": SERVING_OUTPUT,
-               "sharded": SHARDED_OUTPUT}[suite]
+               "sharded": SHARDED_OUTPUT, "ann": ANN_OUTPUT}[suite]
     rng = new_rng(seed)
     repeats = 10 if quick else 50
     n_users = users if users is not None else (1500 if quick else 6000)
@@ -245,6 +250,9 @@ def run_bench(quick: bool = False, out: str | Path | None = None,
         from repro.perf.bench_serving import serving_stages
         stages = serving_stages(rng, quick, seed,
                                 repeats=3 if quick else 10)
+    elif suite == "ann":
+        from repro.perf.bench_ann import ann_stages
+        stages = ann_stages(rng, quick, seed, repeats=3 if quick else 10)
     else:
         from repro.perf.bench_sharded import sharded_stages
         stages = sharded_stages(rng, quick, seed)
@@ -256,7 +264,7 @@ def run_bench(quick: bool = False, out: str | Path | None = None,
     report = {
         "meta": {
             "bench": {"training": "PR8", "serving": "PR5",
-                      "sharded": "PR9"}[suite],
+                      "sharded": "PR9", "ann": "PR10"}[suite],
             "suite": suite,
             "quick": quick,
             "users": n_users,
@@ -284,7 +292,15 @@ def render_report(report: dict) -> str:
              f"numpy {report['meta']['numpy']})"]
     for record in report["results"]:
         op = record["op"]
-        if "p50_ms" in record:
+        if "recall" in record and "qps" in record:
+            lines.append(f"  {op:<32} recall@{record.get('k', '?')}="
+                         f"{record['recall']:.3f} "
+                         f"qps={record['qps']:10.0f} "
+                         f"cand={record.get('avg_candidates', 0):8.0f}")
+        elif "recall" in record:
+            lines.append(f"  {op:<32} recall@{record.get('k', '?')}="
+                         f"{record['recall']:.3f}")
+        elif "p50_ms" in record:
             lines.append(f"  {op:<32} p50={record['p50_ms']:8.3f}ms "
                          f"p95={record['p95_ms']:8.3f}ms")
         elif "users_per_sec" in record:

@@ -1,10 +1,11 @@
 """Batched-softmax candidate selection and feature-sampling strategies."""
 
-from repro.sampling.strategies import (FeatureSampler, FrequencySampler,
-                                       UniformSampler, ZipfianSampler,
-                                       get_sampler, select_candidates)
+from repro.sampling.strategies import (CodebookSampler, FeatureSampler,
+                                       FrequencySampler, UniformSampler,
+                                       ZipfianSampler, get_sampler,
+                                       select_candidates)
 
 __all__ = [
     "FeatureSampler", "UniformSampler", "FrequencySampler", "ZipfianSampler",
-    "get_sampler", "select_candidates",
+    "CodebookSampler", "get_sampler", "select_candidates",
 ]

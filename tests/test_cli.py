@@ -185,3 +185,43 @@ class TestReportFailureModes:
         code, __ = run_cli("report", "--input", str(path))
         assert code == 2
         assert "not valid JSONL" in capsys.readouterr().err
+
+
+class TestLookalikeCommand:
+    def test_exact_default(self):
+        code, text = run_cli("lookalike", "--users", "400", "--dim", "8",
+                             "--seeds", "10", "--k", "20")
+        assert code == 0
+        assert "index=none quant=none" in text
+        assert "recall vs exact scan 1.000" in text
+
+    @pytest.mark.parametrize("index,quant", [("ivf", "int8"),
+                                             ("lsh", "pq"),
+                                             ("none", "pq")])
+    def test_index_quant_combos(self, index, quant):
+        code, text = run_cli("lookalike", "--users", "600", "--dim", "8",
+                             "--index", index, "--quant", quant,
+                             "--seeds", "10", "--k", "20")
+        assert code == 0
+        assert f"index={index} quant={quant}" in text
+        assert "smaller than" in text
+
+    def test_telemetry_dump_renders(self, tmp_path):
+        path = tmp_path / "look.jsonl"
+        code, text = run_cli("lookalike", "--users", "500", "--dim", "8",
+                             "--index", "ivf", "--quant", "int8",
+                             "--telemetry", str(path))
+        assert code == 0
+        assert path.exists()
+        code, text = run_cli("report", "--input", str(path))
+        assert code == 0
+        assert "ivf.probes" in text
+        assert "quant.bytes_saved" in text
+
+    def test_bench_parser_accepts_ann_suite(self):
+        args = build_parser().parse_args(["bench", "--suite", "ann"])
+        assert args.suite == "ann"
+
+    def test_rejects_unknown_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lookalike", "--index", "kdtree"])

@@ -1,0 +1,159 @@
+"""IVF index, chunked exact scan, and quant/index wiring in LookalikeSystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lookalike import (IVFIndex, LookalikeSystem, LSHIndex, PQQuantizer,
+                             exact_top_k)
+
+
+def clustered_vectors(n_clusters=5, per_cluster=60, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 5.0, size=(n_clusters, dim))
+    points = np.concatenate([
+        center + rng.normal(0, 0.3, size=(per_cluster, dim))
+        for center in centers])
+    return points
+
+
+class TestExactTopK:
+    def test_matches_naive_argsort(self):
+        points = clustered_vectors()
+        queries = points[[3, 77, 150]]
+        got = exact_top_k(points, queries, k=10)
+        for row, query in zip(got, queries):
+            d2 = np.sum((points - query) ** 2, axis=1)
+            # naive lexicographic (distance, index) selection
+            order = np.lexsort((np.arange(len(points)), d2))[:10]
+            np.testing.assert_array_equal(row, order)
+
+    def test_chunked_is_bit_identical_to_unchunked(self):
+        """The regression the ~32MB cap must never reintroduce: chunk size
+        cannot change the result, even through distance ties."""
+        rng = np.random.default_rng(1)
+        # quantized coordinates force many exact distance ties
+        points = rng.integers(0, 3, size=(500, 4)).astype(np.float64)
+        queries = rng.integers(0, 3, size=(7, 4)).astype(np.float64)
+        full = exact_top_k(points, queries, k=50, chunk_bytes=1 << 30)
+        for chunk_bytes in (1, 2048, 10_000, 1 << 20):
+            chunked = exact_top_k(points, queries, k=50,
+                                  chunk_bytes=chunk_bytes)
+            np.testing.assert_array_equal(chunked, full)
+
+    def test_k_larger_than_n(self):
+        points = clustered_vectors(n_clusters=2, per_cluster=5)
+        got = exact_top_k(points, points[:2], k=100)
+        assert got.shape == (2, 10)
+
+    def test_validation(self):
+        points = clustered_vectors()
+        with pytest.raises(ValueError):
+            exact_top_k(points, points[:1], k=0)
+        with pytest.raises(ValueError):
+            exact_top_k(np.zeros((0, 4)), np.zeros((1, 4)), k=1)
+
+
+class TestIVFIndex:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IVFIndex(dim=0)
+        with pytest.raises(ValueError):
+            IVFIndex(dim=4, n_lists=8, nprobe=9)
+
+    def test_query_before_fit(self):
+        with pytest.raises(RuntimeError):
+            IVFIndex(dim=4).query(np.zeros(4), 1)
+
+    def test_exhaustive_probe_equals_exact_scan(self):
+        points = clustered_vectors()
+        index = IVFIndex(dim=points.shape[1], n_lists=16, nprobe=16,
+                         seed=0).fit(points)
+        queries = points[[0, 123, 299]] + 0.05
+        exact = exact_top_k(points, queries, k=20)
+        for query, truth in zip(queries, exact):
+            np.testing.assert_array_equal(index.query(query, k=20), truth)
+
+    def test_batch_matches_scalar(self):
+        points = clustered_vectors()
+        index = IVFIndex(dim=points.shape[1], n_lists=16, nprobe=4,
+                         seed=0).fit(points)
+        queries = points[[5, 60, 200]] + 0.1
+        batch = index.query_batch(queries, k=15)
+        for row, query in zip(batch, queries):
+            np.testing.assert_array_equal(row, index.query(query, k=15))
+
+    def test_self_query_returns_self_first(self):
+        points = clustered_vectors()
+        index = IVFIndex(dim=points.shape[1], n_lists=16, nprobe=2,
+                         seed=0).fit(points)
+        for i in (0, 100, 250):
+            assert index.query(points[i], k=1)[0] == i
+
+    def test_high_recall_on_clustered_data(self):
+        points = clustered_vectors()
+        index = IVFIndex(dim=points.shape[1], n_lists=16, nprobe=8,
+                         seed=0).fit(points)
+        queries = points[::25] + 0.05
+        assert index.recall_at_k(queries, k=10) >= 0.95
+
+    def test_adc_rescoring_close_to_exact(self):
+        points = clustered_vectors()
+        quantizer = PQQuantizer(points.shape[1], n_subvectors=8,
+                                n_centroids=64, seed=0)
+        index = IVFIndex(dim=points.shape[1], n_lists=16, nprobe=16, seed=0,
+                         quantizer=quantizer).fit(points)
+        queries = points[::40] + 0.05
+        assert index.recall_at_k(queries, k=10) >= 0.6
+
+    def test_residual_quantizer_rejected(self):
+        quantizer = PQQuantizer(16, n_subvectors=4, n_coarse=8)
+        with pytest.raises(ValueError):
+            IVFIndex(dim=16, quantizer=quantizer)
+
+    def test_fallback_to_exact_toggle(self):
+        points = clustered_vectors(n_clusters=8)
+        index = IVFIndex(dim=points.shape[1], n_lists=8, nprobe=1,
+                         seed=0).fit(points)
+        far = np.full(points.shape[1], 50.0)
+        with_fallback = index.query(far, k=200, fallback_to_exact=True)
+        assert with_fallback.size == 200
+        without = index.query(far, k=200, fallback_to_exact=False)
+        assert without.size <= with_fallback.size
+
+
+class TestLookalikeSystemQuantIndex:
+    @pytest.fixture(scope="class")
+    def embeddings(self):
+        return clustered_vectors(n_clusters=4, per_cluster=100)
+
+    def test_default_config_is_exact_float(self, embeddings):
+        system = LookalikeSystem(embeddings)
+        np.testing.assert_array_equal(system.online_embeddings, embeddings)
+        assert system.serving_bytes == embeddings.nbytes
+
+    @pytest.mark.parametrize("quant", ["int8", "pq"])
+    @pytest.mark.parametrize("index", [None, "lsh", "ivf"])
+    def test_grid_overlaps_exact(self, embeddings, quant, index):
+        exact = LookalikeSystem(embeddings)
+        system = LookalikeSystem(embeddings, quant=quant, index=index, seed=0)
+        seeds = np.arange(5)
+        want = exact.expand_audience(seeds, k=50)
+        got = system.expand_audience(seeds, k=50)
+        overlap = np.isin(got, want).mean()
+        assert overlap >= 0.9, (quant, index, overlap)
+
+    @pytest.mark.parametrize("quant", ["int8", "pq"])
+    def test_quantized_serving_bytes_shrink(self, quant):
+        # Large enough that the PQ codebooks (a fixed ~32KB) amortise away.
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(5000, 16))
+        system = LookalikeSystem(embeddings, quant=quant)
+        assert system.serving_bytes <= embeddings.nbytes / 4
+
+    def test_invalid_options_raise(self, embeddings):
+        with pytest.raises(ValueError):
+            LookalikeSystem(embeddings, quant="fp4")
+        with pytest.raises(ValueError):
+            LookalikeSystem(embeddings, index="kdtree")

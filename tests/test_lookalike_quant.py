@@ -1,0 +1,241 @@
+"""Quantized embedding stores: int8 / PQ codecs and the duck-typed store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lookalike import Int8Quantizer, PQQuantizer, QuantizedEmbeddingStore
+from repro.lookalike.quant import kmeans
+from repro.lookalike.store import EmbeddingStore
+
+
+def clustered(n=400, dim=16, seed=0, n_clusters=5, spread=0.3):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(n_clusters, dim))
+    assign = rng.integers(0, n_clusters, size=n)
+    return centers[assign] + spread * rng.normal(size=(n, dim))
+
+
+class TestKMeans:
+    def test_deterministic_per_seed(self):
+        data = clustered()
+        a, _ = kmeans(data, 8, seed=3)
+        b, _ = kmeans(data, 8, seed=3)
+        c, _ = kmeans(data, 8, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_assignment_is_nearest_centroid(self):
+        data = clustered()
+        centroids, assign = kmeans(data, 6, seed=0)
+        d2 = (np.sum(data ** 2, axis=1)[:, None]
+              + np.sum(centroids ** 2, axis=1)[None, :]
+              - 2.0 * data @ centroids.T)
+        np.testing.assert_array_equal(assign, np.argmin(d2, axis=1))
+
+    def test_k_larger_than_unique_points(self):
+        data = np.zeros((4, 3))
+        data[0] = 1.0
+        centroids, assign = kmeans(data, 4, seed=0)
+        assert centroids.shape == (4, 3)
+        assert assign.shape == (4,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 3)), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 3)), 6)
+
+
+class TestInt8Quantizer:
+    def test_round_trip_error_within_bound(self):
+        data = clustered()
+        quantizer = Int8Quantizer(data.shape[1]).fit(data)
+        err = np.abs(quantizer.dequantize(quantizer.quantize(data)) - data)
+        assert np.all(err <= quantizer.bound() + 1e-12)
+
+    def test_codes_are_uint8(self):
+        data = clustered(n=50)
+        quantizer = Int8Quantizer(data.shape[1]).fit(data)
+        codes = quantizer.quantize(data)
+        assert codes.dtype == np.uint8
+        assert codes.shape == (50, data.shape[1])
+
+    def test_constant_zero_dim_survives(self):
+        data = clustered(n=60, dim=4)
+        data[:, 2] = 0.0
+        quantizer = Int8Quantizer(4).fit(data)
+        out = quantizer.dequantize(quantizer.quantize(data))
+        np.testing.assert_array_equal(out[:, 2], 0.0)
+
+    def test_state_round_trip(self):
+        data = clustered(n=80, dim=8)
+        quantizer = Int8Quantizer(8).fit(data)
+        clone = Int8Quantizer.from_state(8, quantizer.state())
+        np.testing.assert_array_equal(clone.quantize(data),
+                                      quantizer.quantize(data))
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            Int8Quantizer(4).quantize(np.zeros((2, 4)))
+
+
+class TestPQQuantizer:
+    def test_deterministic_codebooks_per_seed(self):
+        data = clustered(dim=16)
+        a = PQQuantizer(16, n_subvectors=4, n_centroids=16, seed=7).fit(data)
+        b = PQQuantizer(16, n_subvectors=4, n_centroids=16, seed=7).fit(data)
+        np.testing.assert_array_equal(a.codebooks, b.codebooks)
+        np.testing.assert_array_equal(a.quantize(data), b.quantize(data))
+
+    def test_round_trip_error_within_train_bound(self):
+        data = clustered(dim=16)
+        quantizer = PQQuantizer(16, n_subvectors=4, n_centroids=32,
+                                seed=0).fit(data)
+        recon = quantizer.dequantize(quantizer.quantize(data))
+        err = np.sqrt(np.sum((recon - data) ** 2, axis=1))
+        assert np.all(err <= quantizer.bound() + 1e-9)
+
+    def test_adc_matches_distance_to_reconstruction(self):
+        data = clustered(dim=8)
+        quantizer = PQQuantizer(8, n_subvectors=4, n_centroids=16,
+                                seed=0).fit(data)
+        codes = quantizer.quantize(data)
+        query = data[3]
+        adc = quantizer.adc_distances(quantizer.adc_lut(query), codes)
+        recon = quantizer.dequantize(codes)
+        np.testing.assert_allclose(
+            adc, np.sum((recon - query) ** 2, axis=1), rtol=1e-10, atol=1e-9)
+
+    def test_residual_mode_tightens_reconstruction(self):
+        data = clustered(n=600, dim=16, spread=0.6)
+        plain = PQQuantizer(16, n_subvectors=4, n_centroids=16,
+                            seed=0).fit(data)
+        residual = PQQuantizer(16, n_subvectors=4, n_centroids=16, seed=0,
+                               n_coarse=8).fit(data)
+        assert residual.code_width == plain.code_width + 1
+        err_plain = np.sqrt(np.sum(
+            (plain.dequantize(plain.quantize(data)) - data) ** 2, axis=1))
+        err_res = np.sqrt(np.sum(
+            (residual.dequantize(residual.quantize(data)) - data) ** 2,
+            axis=1))
+        assert err_res.mean() <= err_plain.mean()
+
+    def test_residual_adc_unsupported(self):
+        data = clustered(dim=8)
+        quantizer = PQQuantizer(8, n_subvectors=2, n_centroids=16, seed=0,
+                                n_coarse=4).fit(data)
+        with pytest.raises(RuntimeError):
+            quantizer.adc_lut(data[0])
+
+    def test_state_round_trip_preserves_residual_mode(self):
+        data = clustered(dim=8)
+        quantizer = PQQuantizer(8, n_subvectors=2, n_centroids=16, seed=0,
+                                n_coarse=4).fit(data)
+        clone = PQQuantizer.from_state(8, quantizer.state())
+        assert clone.n_coarse == 4
+        np.testing.assert_array_equal(clone.quantize(data),
+                                      quantizer.quantize(data))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PQQuantizer(7, n_subvectors=4)  # dim not divisible
+        with pytest.raises(ValueError):
+            PQQuantizer(8, n_subvectors=4, n_centroids=300)
+
+
+class TestQuantizedEmbeddingStore:
+    @pytest.fixture(params=["int8", "pq"])
+    def mode(self, request):
+        return request.param
+
+    def make_store(self, mode, data):
+        kwargs = {"n_subvectors": 4, "n_centroids": 16} if mode == "pq" else {}
+        store = QuantizedEmbeddingStore(data.shape[1], mode=mode, **kwargs)
+        store.put_many([f"u{i}" for i in range(len(data))], data)
+        return store
+
+    def test_round_trip_all_keys(self, mode):
+        data = clustered(n=200, dim=8)
+        store = self.make_store(mode, data)
+        assert len(store) == 200
+        got = store.get_many([f"u{i}" for i in range(200)])
+        if mode == "int8":
+            assert np.all(np.abs(got - data) <= store.dequant_bound() + 1e-12)
+        else:
+            err = np.sqrt(np.sum((got - data) ** 2, axis=1))
+            assert np.all(err <= store.dequant_bound() + 1e-9)
+
+    def test_absent_key_contract(self, mode):
+        data = clustered(n=20, dim=8)
+        store = self.make_store(mode, data)
+        assert store.get("ghost") is None
+        assert "ghost" not in store
+        rows, mask = store.get_batch(["u0", "ghost", "u5"])
+        assert mask.tolist() == [True, False, True]
+        np.testing.assert_array_equal(rows[1], np.zeros(8))
+
+    def test_last_write_wins(self, mode):
+        data = clustered(n=30, dim=8)
+        store = self.make_store(mode, data)
+        store.put("u3", data[7])
+        np.testing.assert_array_equal(store.get("u3"), store.get("u7"))
+
+    def test_matches_exact_store_interface(self, mode):
+        data = clustered(n=40, dim=8)
+        keys = [f"u{i}" for i in range(40)]
+        exact = EmbeddingStore(8)
+        exact.put_many(keys, data)
+        quant = self.make_store(mode, data)
+        assert sorted(quant.keys()) == sorted(exact.keys())
+        for probe in (["u1", "nope", "u2"], []):
+            __, mask_e = exact.get_batch(probe)
+            __, mask_q = quant.get_batch(probe)
+            np.testing.assert_array_equal(mask_e, mask_q)
+
+    def test_snapshot_mmap_round_trip(self, mode, tmp_path):
+        data = clustered(n=64, dim=8)
+        store = self.make_store(mode, data)
+        path = tmp_path / "snap.npz"
+        store.save_snapshot(path)
+        loaded = QuantizedEmbeddingStore.load(path, mmap=True)
+        assert loaded.is_mapped
+        assert loaded.mode == mode
+        np.testing.assert_array_equal(loaded.as_codes()[1],
+                                      store.as_codes()[1])
+        np.testing.assert_array_equal(loaded.get_many(["u0", "u63"]),
+                                      store.get_many(["u0", "u63"]))
+
+    def test_copy_on_write_after_mmap(self, mode, tmp_path):
+        data = clustered(n=32, dim=8)
+        store = self.make_store(mode, data)
+        path = tmp_path / "snap.npz"
+        store.save_snapshot(path)
+        loaded = QuantizedEmbeddingStore.load(path, mmap=True)
+        loaded.put("fresh", data[0])
+        assert not loaded.is_mapped  # write detaches from the mapping
+        assert len(loaded) == 33
+        # the on-disk snapshot is untouched
+        again = QuantizedEmbeddingStore.load(path, mmap=True)
+        assert len(again) == 32
+
+    def test_memory_reduction(self, mode):
+        data = clustered(n=500, dim=16)
+        store = self.make_store(mode, data)
+        floor = 4.0 if mode == "int8" else 8.0
+        assert data.nbytes / store.nbytes >= floor
+        assert store.bytes_saved == data.nbytes - store.nbytes
+
+    def test_from_store(self, mode):
+        data = clustered(n=50, dim=8)
+        exact = EmbeddingStore(8)
+        exact.put_many([f"u{i}" for i in range(50)], data)
+        quant = QuantizedEmbeddingStore.from_store(
+            exact, mode=mode,
+            **({"n_subvectors": 4, "n_centroids": 16} if mode == "pq" else {}))
+        assert sorted(quant.keys()) == sorted(exact.keys())
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            QuantizedEmbeddingStore(8, mode="fp4")

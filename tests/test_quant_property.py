@@ -1,0 +1,122 @@
+"""Property-based tests: quantizer round-trip bounds and the quantized
+store vs a plain-dict reference model.
+
+Hypothesis drives random matrices through the int8 / PQ codecs (the
+round-trip error must respect the advertised bound, and codebooks must be
+a pure function of the seed) and random put/get sequences through
+``QuantizedEmbeddingStore`` against the obvious last-write-wins dict
+semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lookalike import Int8Quantizer, PQQuantizer, QuantizedEmbeddingStore
+
+finite = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False, width=32)
+
+
+def matrices(min_rows=1, max_rows=24, min_dim=1, max_dim=8):
+    return st.integers(min_dim, max_dim).flatmap(
+        lambda dim: st.lists(
+            st.lists(finite, min_size=dim, max_size=dim),
+            min_size=min_rows, max_size=max_rows,
+        ).map(lambda rows: np.asarray(rows, dtype=np.float64)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=matrices())
+def test_int8_round_trip_within_bound(matrix):
+    quantizer = Int8Quantizer(matrix.shape[1]).fit(matrix)
+    recon = quantizer.dequantize(quantizer.quantize(matrix))
+    assert np.all(np.abs(recon - matrix) <= quantizer.bound() + 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=matrices(), fresh=st.lists(finite, min_size=8, max_size=8))
+def test_int8_out_of_range_rows_clip_but_stay_finite(matrix, fresh):
+    quantizer = Int8Quantizer(matrix.shape[1]).fit(matrix)
+    probe = 10.0 * np.resize(np.asarray(fresh), matrix.shape[1])
+    recon = quantizer.dequantize(quantizer.quantize(probe[None, :]))
+    assert np.all(np.isfinite(recon))
+    # clipping can only pull values toward zero, never overshoot the scale
+    assert np.all(np.abs(recon[0]) <= 127.0 * quantizer.scale + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=matrices(min_rows=4, min_dim=2, max_dim=8),
+       seed=st.integers(0, 2 ** 16))
+def test_pq_codebooks_deterministic_per_seed(matrix, seed):
+    dim = matrix.shape[1]
+    sub = 2 if dim % 2 == 0 else 1
+    a = PQQuantizer(dim, n_subvectors=sub, n_centroids=4, seed=seed,
+                    n_iters=4).fit(matrix)
+    b = PQQuantizer(dim, n_subvectors=sub, n_centroids=4, seed=seed,
+                    n_iters=4).fit(matrix)
+    np.testing.assert_array_equal(a.codebooks, b.codebooks)
+    np.testing.assert_array_equal(a.quantize(matrix), b.quantize(matrix))
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=matrices(min_rows=4, min_dim=2, max_dim=8))
+def test_pq_round_trip_within_train_bound(matrix):
+    dim = matrix.shape[1]
+    sub = 2 if dim % 2 == 0 else 1
+    quantizer = PQQuantizer(dim, n_subvectors=sub, n_centroids=4, seed=0,
+                            n_iters=4).fit(matrix)
+    recon = quantizer.dequantize(quantizer.quantize(matrix))
+    err = np.sqrt(np.sum((recon - matrix) ** 2, axis=1))
+    assert np.all(err <= quantizer.bound() + 1e-6)
+
+
+# --- store vs dict reference model -----------------------------------------
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["put", "put_many", "get", "get_batch"]),
+              st.lists(st.integers(0, 12), min_size=1, max_size=6)),
+    max_size=20)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations=ops, data=st.data())
+def test_store_matches_dict_model(operations, data):
+    dim = 4
+    rng = np.random.default_rng(0)
+    train = rng.normal(size=(32, dim))
+    store = QuantizedEmbeddingStore(dim, mode="int8")
+    store.fit_quantizer(train)
+    model: dict[int, np.ndarray] = {}
+    bound = store.dequant_bound() + 1e-9
+
+    def check_row(key, row):
+        assert np.all(np.abs(row - model[key]) <= bound)
+
+    for op, keys in operations:
+        vectors = train[rng.integers(0, 32, size=len(keys))]
+        if op == "put":
+            store.put(keys[0], vectors[0])
+            model[keys[0]] = vectors[0]
+        elif op == "put_many":
+            store.put_many(keys, vectors)
+            for key, vector in zip(keys, vectors):
+                model[key] = vector  # last write wins, like the store
+        elif op == "get":
+            row = store.get(keys[0])
+            if keys[0] in model:
+                check_row(keys[0], row)
+            else:
+                assert row is None
+        else:
+            rows, mask = store.get_batch(keys)
+            for i, key in enumerate(keys):
+                assert mask[i] == (key in model)
+                if mask[i]:
+                    check_row(key, rows[i])
+                else:
+                    np.testing.assert_array_equal(rows[i], np.zeros(dim))
+    assert len(store) == len(model)
+    assert sorted(store.keys()) == sorted(model)
